@@ -1,0 +1,110 @@
+// Command optimus-server runs the Optimus REST gateway (§7): register models
+// and invoke inference functions over HTTP against a live Optimus-scheduled
+// cluster.
+//
+//	optimus-server -addr :8080 -preload 8
+//
+//	curl localhost:8080/api/models
+//	curl -X POST localhost:8080/api/invoke -d '{"model":"resnet50-imagenet"}'
+//	curl 'localhost:8080/api/plan?src=resnet50-imagenet&dst=resnet101-imagenet'
+//	curl localhost:8080/api/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/gateway"
+	"repro/internal/policy"
+	"repro/internal/repository"
+	"repro/internal/simulate"
+	"repro/internal/zoo"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		nodes      = flag.Int("nodes", 2, "worker nodes")
+		slots      = flag.Int("containers", 4, "containers per node")
+		gpu        = flag.Bool("gpu", false, "GPU hardware profile")
+		policyName = flag.String("policy", "optimus", "container policy: optimus|openwhisk|pagurus|tetris")
+		preload    = flag.Int("preload", 6, "preregister this many representative models (0 = none)")
+		modelsDir  = flag.String("models-dir", "", "persist registered models to this directory (reloaded on restart)")
+	)
+	flag.Parse()
+
+	prof := cost.CPU()
+	if *gpu {
+		prof = cost.GPU()
+	}
+	var pol simulate.Policy
+	switch *policyName {
+	case "optimus":
+		pol = policy.Optimus{}
+	case "openwhisk":
+		pol = policy.OpenWhisk{}
+	case "pagurus":
+		pol = policy.Pagurus{}
+	case "tetris":
+		pol = policy.Tetris{}
+	default:
+		log.Fatalf("unknown policy %q", *policyName)
+	}
+
+	var store *repository.Store
+	if *modelsDir != "" {
+		var err error
+		store, err = repository.Open(*modelsDir, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("model repository at %s (%d models)", *modelsDir, store.Len())
+	}
+	gw := gateway.New(gateway.Config{
+		Cluster: simulate.Config{
+			Nodes:             *nodes,
+			ContainersPerNode: *slots,
+			Profile:           prof,
+			Policy:            pol,
+		},
+		Repository: store,
+	})
+
+	if *preload > 0 {
+		img := zoo.Imgclsmob()
+		cnn, bert := zoo.Representative21()
+		names := append(append([]string(nil), cnn...), bert...)
+		if *preload > len(names) {
+			*preload = len(names)
+		}
+		bz := zoo.BERTZoo()
+		for _, n := range names[:*preload] {
+			g, err := img.Get(n)
+			if err != nil {
+				g = bz.MustGet(n)
+			}
+			if store != nil {
+				if _, ok := store.Get(n); ok {
+					continue // already persisted from a previous run
+				}
+			}
+			if err := gw.RegisterModel(g); err != nil {
+				log.Fatalf("preload %s: %v", n, err)
+			}
+			log.Printf("preloaded %s", g)
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("optimus-server listening on %s (policy=%s, %d nodes × %d containers, %s profile)\n",
+		*addr, *policyName, *nodes, *slots, prof.Name)
+	log.Fatal(srv.ListenAndServe())
+}

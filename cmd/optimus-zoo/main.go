@@ -1,0 +1,138 @@
+// Command optimus-zoo inspects the model zoos and transformation plans.
+//
+//	optimus-zoo list [-family resnet]         list models
+//	optimus-zoo show <model>                  print a model's structure summary
+//	optimus-zoo json <model>                  dump a model's JSON graph
+//	optimus-zoo plan <src> <dst>              print the transformation plan
+//	optimus-zoo dot <model>                   emit the model as Graphviz dot
+//	optimus-zoo nasbench <index>              show a NAS-Bench-201 architecture
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/cost"
+	"repro/internal/gateway"
+	"repro/internal/metaop"
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/zoo"
+)
+
+func lookup(name string) (*model.Graph, error) {
+	for _, r := range []*zoo.Registry{zoo.Imgclsmob(), zoo.BERTZoo(), zoo.RNNZoo()} {
+		if g, err := r.Get(name); err == nil {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("model %q not found in any zoo", name)
+}
+
+func main() {
+	family := flag.String("family", "", "filter list by family")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	switch args[0] {
+	case "list":
+		img := zoo.Imgclsmob()
+		for _, n := range img.SortedByParams() {
+			g := img.MustGet(n)
+			if *family != "" && g.Family != *family {
+				continue
+			}
+			fmt.Println(g)
+		}
+		for _, n := range zoo.BERTNames() {
+			g := zoo.BERTZoo().MustGet(n)
+			if *family != "" && g.Family != *family {
+				continue
+			}
+			fmt.Println(g)
+		}
+		for _, n := range zoo.RNNNames() {
+			g := zoo.RNNZoo().MustGet(n)
+			if *family != "" && g.Family != *family {
+				continue
+			}
+			fmt.Println(g)
+		}
+	case "show":
+		need(args, 2)
+		g, err := lookup(args[1])
+		fatalIf(err)
+		fmt.Println(g)
+		st := g.Stats()
+		for _, t := range model.AllOpTypes() {
+			if st.ByType[t] > 0 {
+				fmt.Printf("  %-12s × %d\n", t, st.ByType[t])
+			}
+		}
+		prof := cost.CPU()
+		b := prof.ModelLoad(g)
+		fmt.Printf("  load: %v (deserialize %v, structure %v, weights %v); cold start %v; compute %v\n",
+			b.Total(), b.Deserialize, b.Structure, b.Weights, prof.ColdStart(g), prof.Compute(g))
+	case "json":
+		need(args, 2)
+		g, err := lookup(args[1])
+		fatalIf(err)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatalIf(enc.Encode(g))
+	case "plan":
+		need(args, 3)
+		src, err := lookup(args[1])
+		fatalIf(err)
+		dst, err := lookup(args[2])
+		fatalIf(err)
+		pl := planner.New(cost.Exact(cost.CPU()), planner.AlgoGroup)
+		plan := pl.Plan(src, dst)
+		fmt.Println(gateway.PlanSummary(plan))
+		for _, k := range metaop.Kinds() {
+			if d := plan.CostByKind()[k]; d > 0 {
+				fmt.Printf("  %-8s %6d steps  %v\n", k, plan.CountByKind()[k], d)
+			}
+		}
+	case "dot":
+		need(args, 2)
+		g, err := lookup(args[1])
+		fatalIf(err)
+		fmt.Print(g.DOT())
+	case "nasbench":
+		need(args, 2)
+		idx, err := strconv.Atoi(args[1])
+		fatalIf(err)
+		arch, err := zoo.NASBenchArch(idx)
+		fatalIf(err)
+		g, err := zoo.NASBenchModel(idx, 5, 10)
+		fatalIf(err)
+		fmt.Printf("index %d: %s\n%s\n", idx, zoo.NASBenchString(arch), g)
+	default:
+		usage()
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: optimus-zoo list [-family f] | show <m> | json <m> | dot <m> | plan <src> <dst> | nasbench <idx>")
+	os.Exit(2)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,33 @@
+// Package optimus is a Go implementation of Optimus, the serverless ML
+// inference system with low cold-start overhead via inter-function model
+// transformation (Hong et al., EuroSys 2024).
+//
+// Instead of loading a requested model from scratch in a cold container,
+// Optimus transforms the structurally similar model already resident in a
+// warm-but-idle container of another function, using five in-container
+// meta-operators — Replace, Reshape, Reduce, Add and Edge — planned by a
+// linear-time graph-edit scheduler with a worst-case safeguard.
+//
+// The package exposes three layers:
+//
+//   - Transformer: the core contribution as a library — plan and execute
+//     model-to-model transformations, with cost estimates and verification.
+//   - System: a full serverless ML inference cluster (discrete-event
+//     simulated) with the Optimus container scheduler, the model-sharing-
+//     aware K-medoids load balancer, and the OpenWhisk/Pagurus/Tetris
+//     baselines for comparison.
+//   - Zoos: programmatic generators for the evaluation model collections
+//     (an Imgclsmob-like 389-model CNN zoo, the 10 BERT variants, and the
+//     NAS-Bench-201 search space).
+//
+// A minimal use of the transformation core:
+//
+//	tf := optimus.NewTransformer(optimus.CPU, optimus.AlgoGroup)
+//	src := optimus.Imgclsmob().MustGet("resnet50-imagenet")
+//	dst := optimus.Imgclsmob().MustGet("resnet101-imagenet")
+//	plan := tf.Plan(src, dst)
+//	got, took, err := tf.Transform(src, dst) // executes and verifies
+//
+// See the examples directory for end-to-end cluster scenarios and
+// cmd/optimus-bench for regenerating every table and figure of the paper.
+package optimus

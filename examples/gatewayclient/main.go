@@ -1,0 +1,87 @@
+// Gateway client: drives the Optimus REST control plane (§7) end to end —
+// starts an in-process gateway, registers models over HTTP, invokes them,
+// inspects a transformation plan, and reads aggregate stats. This is the
+// workflow a platform operator scripts against optimus-server.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/simulate"
+	"repro/internal/zoo"
+)
+
+func main() {
+	// A fake clock lets the demo jump through container lifecycle phases.
+	var now time.Duration
+	gw := gateway.New(gateway.Config{
+		Cluster: simulate.Config{Nodes: 1, ContainersPerNode: 2},
+		Now:     func() time.Duration { return now },
+	})
+	srv := httptest.NewServer(gw.Handler())
+	defer srv.Close()
+	fmt.Println("gateway listening (in-process) at", srv.URL)
+
+	// Register two models over the REST API, exactly as a client would.
+	img := zoo.Imgclsmob()
+	for _, name := range []string{"resnet50-imagenet", "resnet101-imagenet"} {
+		body, err := json.Marshal(img.MustGet(name))
+		check(err)
+		resp, err := http.Post(srv.URL+"/api/models", "application/json", bytes.NewReader(body))
+		check(err)
+		var out map[string]any
+		check(json.NewDecoder(resp.Body).Decode(&out))
+		resp.Body.Close()
+		fmt.Printf("registered %v (%v ops, %v params)\n", out["name"], out["ops"], out["params"])
+	}
+
+	invoke := func(model string) {
+		body, _ := json.Marshal(map[string]string{"model": model})
+		resp, err := http.Post(srv.URL+"/api/invoke", "application/json", bytes.NewReader(body))
+		check(err)
+		var out map[string]any
+		check(json.NewDecoder(resp.Body).Decode(&out))
+		resp.Body.Close()
+		fmt.Printf("t=%-6v invoke %-22s → %-9s latency %.0f ms (init %.0f, load %.0f, compute %.0f)\n",
+			now, model, out["start_kind"], out["latency_ms"], out["init_ms"], out["load_ms"], out["compute_ms"])
+	}
+
+	invoke("resnet50-imagenet") // cold
+	now += 30 * time.Second
+	invoke("resnet50-imagenet") // warm
+	now += 3 * time.Minute      // resnet50's container is now a donor
+	invoke("resnet101-imagenet")
+
+	// Inspect the plan behind that transformation.
+	resp, err := http.Get(srv.URL + "/api/plan?src=resnet50-imagenet&dst=resnet101-imagenet")
+	check(err)
+	var plan map[string]any
+	check(json.NewDecoder(resp.Body).Decode(&plan))
+	resp.Body.Close()
+	fmt.Printf("plan resnet50→resnet101: %v steps (%v), est %.0f ms vs scratch %.0f ms\n",
+		plan["steps"], plan["counts"], plan["est_ms"], plan["scratch_ms"])
+
+	// Aggregate stats.
+	resp, err = http.Get(srv.URL + "/api/stats")
+	check(err)
+	var stats map[string]any
+	check(json.NewDecoder(resp.Body).Decode(&stats))
+	resp.Body.Close()
+	fmt.Printf("stats: %v requests, mean %.0f ms, warm %.0f%%, transform %.0f%%, cold %.0f%%\n",
+		stats["requests"], stats["mean_latency_ms"],
+		100*stats["warm_fraction"].(float64),
+		100*stats["transform_fraction"].(float64),
+		100*stats["cold_fraction"].(float64))
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,38 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func BenchmarkModelLoadResNet50Sized(b *testing.B) {
+	bd := model.NewBuilder("bench", "bench", "")
+	bd.Input(3)
+	for i := 0; i < 53; i++ {
+		bd.Conv("c", 3, 64, 64, 1)
+		bd.BN("bn", 64)
+		bd.ReLU("r", 64)
+	}
+	bd.Dense("fc", 2048, 1000)
+	g := bd.Graph()
+	p := CPU()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.ModelLoad(g).Total() <= 0 {
+			b.Fatal("zero load")
+		}
+	}
+}
+
+func BenchmarkSubstituteCost(b *testing.B) {
+	p := CPU()
+	src := conv(3, 64, 64, 1)
+	dst := conv(5, 64, 64, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.SubstituteCost(src, dst); !ok {
+			b.Fatal("infeasible")
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/simulate"
+	"repro/internal/workload"
+)
+
+// Extension experiments beyond the paper's figures: scalability and load
+// sweeps showing where inter-function model transformation helps most.
+
+// SweepPoint is one (x, per-policy-mean) measurement of a sweep.
+type SweepPoint struct {
+	X     int
+	Means map[string]time.Duration
+	// OptimusTransform is Optimus' transformation share at this point.
+	OptimusTransform float64
+}
+
+// ScalabilityResult sweeps the node count at fixed workload: with more
+// nodes per tenant population the cold-start pressure falls and all systems
+// converge; with fewer nodes Optimus' advantage widens.
+type ScalabilityResult struct {
+	Points []SweepPoint
+}
+
+// Scalability runs the sweep for the given node counts (default 1,2,4,8).
+func Scalability(o Options, nodes []int, horizon time.Duration) ScalabilityResult {
+	o = o.withDefaults()
+	if len(nodes) == 0 {
+		nodes = []int{1, 2, 4, 8}
+	}
+	if horizon <= 0 {
+		horizon = 24 * time.Hour
+	}
+	if o.Quick && horizon > 6*time.Hour {
+		horizon = 6 * time.Hour
+	}
+	fns := DefaultFunctionSet(o.Quick)
+	names := make([]string, len(fns))
+	for i, f := range fns {
+		names[i] = f.Name
+	}
+	tr := workload.MixedPoisson(names, horizon, o.Seed)
+
+	var res ScalabilityResult
+	for _, n := range nodes {
+		pt := SweepPoint{X: n, Means: map[string]time.Duration{}}
+		for _, pol := range []simulate.Policy{policy.OpenWhisk{}, policy.Optimus{}} {
+			sim := simulate.New(simulate.Config{
+				Policy:            pol,
+				Nodes:             n,
+				ContainersPerNode: 4,
+				Profile:           o.Profile,
+			}, fns)
+			col, err := sim.Run(tr)
+			if err != nil {
+				panic(err)
+			}
+			pt.Means[pol.Name()] = col.MeanLatency()
+			if pol.Name() == "optimus" {
+				pt.OptimusTransform = col.KindFractions()[metrics.StartTransform]
+			}
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+// Render prints the scalability sweep.
+func (r ScalabilityResult) Render() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		red := 1 - float64(p.Means["optimus"])/float64(p.Means["openwhisk"])
+		rows = append(rows, []string{
+			fmt.Sprint(p.X),
+			ms(p.Means["openwhisk"]), ms(p.Means["optimus"]),
+			pct(red), pct(p.OptimusTransform),
+		})
+	}
+	return "Extension: node-count sweep (fixed tenant population; Optimus helps most under pressure)\n" +
+		table([]string{"nodes", "openwhisk(ms)", "optimus(ms)", "reduction", "transform share"}, rows)
+}
+
+// LoadSweepResult sweeps the request-rate multiplier on the Poisson
+// workload: higher load keeps containers warmer (less to win) until
+// queueing dominates everything.
+type LoadSweepResult struct {
+	Points []SweepPoint // X is the rate multiplier ×10 (5 = 0.5×)
+}
+
+// LoadSweep runs the sweep for the given multipliers ×10 (default 5,10,20,40).
+func LoadSweep(o Options, multipliersX10 []int, horizon time.Duration) LoadSweepResult {
+	o = o.withDefaults()
+	if len(multipliersX10) == 0 {
+		multipliersX10 = []int{5, 10, 20, 40}
+	}
+	if horizon <= 0 {
+		horizon = 24 * time.Hour
+	}
+	if o.Quick && horizon > 6*time.Hour {
+		horizon = 6 * time.Hour
+	}
+	fns := DefaultFunctionSet(o.Quick)
+	names := make([]string, len(fns))
+	for i, f := range fns {
+		names[i] = f.Name
+	}
+
+	var res LoadSweepResult
+	levels := []float64{workload.RateFrequent, workload.RateMiddle, workload.RateInfrequent}
+	for _, m := range multipliersX10 {
+		rates := make(map[string]float64, len(names))
+		for i, f := range names {
+			rates[f] = levels[i%3] * float64(m) / 10
+		}
+		tr := workload.PoissonRates(rates, horizon, o.Seed)
+		pt := SweepPoint{X: m, Means: map[string]time.Duration{}}
+		for _, pol := range []simulate.Policy{policy.OpenWhisk{}, policy.Optimus{}} {
+			sim := simulate.New(simulate.Config{
+				Policy:            pol,
+				Nodes:             4,
+				ContainersPerNode: 4,
+				Profile:           o.Profile,
+			}, fns)
+			col, err := sim.Run(tr)
+			if err != nil {
+				panic(err)
+			}
+			pt.Means[pol.Name()] = col.MeanLatency()
+			if pol.Name() == "optimus" {
+				pt.OptimusTransform = col.KindFractions()[metrics.StartTransform]
+			}
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+// Render prints the load sweep.
+func (r LoadSweepResult) Render() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		red := 1 - float64(p.Means["optimus"])/float64(p.Means["openwhisk"])
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1fx", float64(p.X)/10),
+			ms(p.Means["openwhisk"]), ms(p.Means["optimus"]),
+			pct(red), pct(p.OptimusTransform),
+		})
+	}
+	return "Extension: request-rate sweep (Poisson multiplier)\n" +
+		table([]string{"rate", "openwhisk(ms)", "optimus(ms)", "reduction", "transform share"}, rows)
+}

@@ -1,0 +1,367 @@
+// Package gateway implements the Optimus control plane of §7: an HTTP
+// gateway that accepts model registrations and inference invocations,
+// dispatches them to (simulated) containers under the Optimus scheduler,
+// and reports per-request latency breakdowns and aggregate statistics.
+//
+// The API mirrors the paper's prototype:
+//
+//	POST /api/models         register a model (JSON graph; see model package)
+//	GET  /api/models         list registered models
+//	GET  /api/models/{name}  fetch one model's structure
+//	DELETE /api/models/{name} unregister a model
+//	POST /api/invoke         invoke a function: {"model": "<name>"}
+//	GET  /api/plan           inspect a transformation plan: ?src=a&dst=b
+//	GET  /api/stats          aggregate service statistics
+//	GET  /api/cluster        node and container state
+//	GET  /healthz            liveness
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metaop"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/policy"
+	"repro/internal/repository"
+	"repro/internal/simulate"
+)
+
+// Config parameterizes the gateway.
+type Config struct {
+	// Cluster configures the backing cluster (policy, nodes, profile...).
+	Cluster simulate.Config
+	// Now supplies the current offset from server start; defaults to wall
+	// clock. Tests inject a fake.
+	Now func() time.Duration
+	// Repository, when non-nil, persists registered models to disk and
+	// preloads the models already stored there (§7: the paper deploys
+	// models to a Docker volume; this is the equivalent store).
+	Repository *repository.Store
+}
+
+// Gateway is the HTTP control plane.
+type Gateway struct {
+	mu     sync.Mutex
+	online *simulate.Online
+	now    func() time.Duration
+	models map[string]*model.Graph
+	store  *repository.Store
+}
+
+// New builds a gateway with no registered models.
+func New(cfg Config) *Gateway {
+	now := cfg.Now
+	if now == nil {
+		start := time.Now()
+		now = func() time.Duration { return time.Since(start) }
+	}
+	if cfg.Cluster.Policy == nil {
+		cfg.Cluster.Policy = policy.Optimus{}
+	}
+	g := &Gateway{
+		online: simulate.NewOnline(cfg.Cluster, nil),
+		now:    now,
+		models: make(map[string]*model.Graph),
+		store:  cfg.Repository,
+	}
+	if g.store != nil {
+		for _, name := range g.store.Names() {
+			if m, ok := g.store.Get(name); ok {
+				g.models[m.Name] = m
+				g.online.AddFunction(&simulate.Function{Name: m.Name, Model: m})
+			}
+		}
+	}
+	return g
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/api/models", g.handleModels)
+	mux.HandleFunc("/api/models/", g.handleModelByName)
+	mux.HandleFunc("/api/invoke", g.handleInvoke)
+	mux.HandleFunc("/api/plan", g.handlePlan)
+	mux.HandleFunc("/api/stats", g.handleStats)
+	mux.HandleFunc("/api/cluster", g.handleCluster)
+	return mux
+}
+
+// RegisterModel adds a model programmatically (same path as POST
+// /api/models). When a new model registers, transformation plans against the
+// already-registered models are precomputed into the plan cache — the
+// "planning strategy caching" of §4.4 Module 3.
+func (g *Gateway) RegisterModel(m *model.Graph) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	if _, dup := g.models[m.Name]; dup {
+		g.mu.Unlock()
+		return fmt.Errorf("gateway: model %q already registered", m.Name)
+	}
+	g.models[m.Name] = m
+	existing := make([]*model.Graph, 0, len(g.models))
+	for _, other := range g.models {
+		if other.Name != m.Name {
+			existing = append(existing, other)
+		}
+	}
+	g.mu.Unlock()
+
+	g.online.AddFunction(&simulate.Function{Name: m.Name, Model: m})
+	env := g.online.Env()
+	for _, other := range existing {
+		env.Plans.GetOrPlan(env.Planner, other, m)
+		env.Plans.GetOrPlan(env.Planner, m, other)
+	}
+	if g.store != nil {
+		if err := g.store.Put(m); err != nil {
+			return fmt.Errorf("gateway: persisting %s: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+func (g *Gateway) handleModels(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		g.mu.Lock()
+		names := make([]string, 0, len(g.models))
+		for n := range g.models {
+			names = append(names, n)
+		}
+		g.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"models": names})
+	case http.MethodPost:
+		var m model.Graph
+		if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := g.RegisterModel(&m); err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		st := m.Stats()
+		writeJSON(w, http.StatusCreated, map[string]any{
+			"name": m.Name, "ops": st.Ops, "params": st.Params,
+		})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+	}
+}
+
+func (g *Gateway) handleModelByName(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/api/models/")
+	switch r.Method {
+	case http.MethodGet:
+		g.mu.Lock()
+		m, ok := g.models[name]
+		g.mu.Unlock()
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown model %q", name))
+			return
+		}
+		writeJSON(w, http.StatusOK, m)
+	case http.MethodDelete:
+		if err := g.UnregisterModel(name); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or DELETE"))
+	}
+}
+
+// UnregisterModel removes a model from the gateway. In-flight containers
+// holding it keep running until the keep-alive recycles them; new requests
+// for the name are rejected.
+func (g *Gateway) UnregisterModel(name string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.models[name]; !ok {
+		return fmt.Errorf("gateway: unknown model %q", name)
+	}
+	delete(g.models, name)
+	g.online.RemoveFunction(name)
+	if g.store != nil {
+		if err := g.store.Delete(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// clusterNode is the /api/cluster view of one node.
+type clusterNode struct {
+	ID         int                `json:"id"`
+	Containers []clusterContainer `json:"containers"`
+	UsedMB     int                `json:"used_mb,omitempty"`
+}
+
+type clusterContainer struct {
+	Function string  `json:"function"`
+	Busy     bool    `json:"busy"`
+	IdleSec  float64 `json:"idle_sec"`
+	MemMB    int     `json:"mem_mb,omitempty"`
+}
+
+func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	now := g.now()
+	nodes := g.online.Snapshot(now)
+	out := make([]clusterNode, 0, len(nodes))
+	for _, n := range nodes {
+		cn := clusterNode{ID: n.ID, UsedMB: n.UsedMB()}
+		for _, c := range n.Containers {
+			cn.Containers = append(cn.Containers, clusterContainer{
+				Function: c.Fn.Name,
+				Busy:     c.Busy(now),
+				IdleSec:  c.IdleFor(now).Seconds(),
+				MemMB:    c.MemMB,
+			})
+		}
+		out = append(out, cn)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"nodes": out})
+}
+
+// invokeRequest is the body of POST /api/invoke, mirroring the paper's
+// query API (input data is carried but not interpreted by the simulator).
+type invokeRequest struct {
+	Model string          `json:"model"`
+	Input json.RawMessage `json:"input,omitempty"`
+}
+
+type invokeResponse struct {
+	Model     string  `json:"model"`
+	Kind      string  `json:"start_kind"`
+	WaitMS    float64 `json:"wait_ms"`
+	InitMS    float64 `json:"init_ms"`
+	LoadMS    float64 `json:"load_ms"`
+	ComputeMS float64 `json:"compute_ms"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var req invokeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Model == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing model"))
+		return
+	}
+	rec, err := g.online.Invoke(req.Model, g.now())
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, invokeResponse{
+		Model:     req.Model,
+		Kind:      rec.Kind.String(),
+		WaitMS:    msF(rec.Wait),
+		InitMS:    msF(rec.Init),
+		LoadMS:    msF(rec.Load),
+		ComputeMS: msF(rec.Compute),
+		LatencyMS: msF(rec.Latency()),
+	})
+}
+
+func (g *Gateway) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	srcName, dstName := r.URL.Query().Get("src"), r.URL.Query().Get("dst")
+	g.mu.Lock()
+	src, okS := g.models[srcName]
+	dst, okD := g.models[dstName]
+	g.mu.Unlock()
+	if !okS || !okD {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown model in pair (%q, %q)", srcName, dstName))
+		return
+	}
+	env := g.online.Env()
+	plan := env.Plans.GetOrPlan(env.Planner, src, dst)
+	counts := map[string]int{}
+	for k, n := range plan.CountByKind() {
+		counts[k.String()] = n
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"src":               srcName,
+		"dst":               dstName,
+		"steps":             len(plan.Steps),
+		"counts":            counts,
+		"est_ms":            msF(plan.EstCost),
+		"scratch_ms":        msF(plan.ScratchCost),
+		"load_from_scratch": plan.LoadFromScratch,
+	})
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	col := g.online.Collector()
+	fr := col.KindFractions()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"requests":           col.Len(),
+		"mean_latency_ms":    msF(col.MeanLatency()),
+		"p50_ms":             msF(col.Percentile(50)),
+		"p99_ms":             msF(col.Percentile(99)),
+		"warm_fraction":      fr[metrics.StartWarm],
+		"transform_fraction": fr[metrics.StartTransform],
+		"cold_fraction":      fr[metrics.StartCold],
+	})
+}
+
+func msF(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// PlanSummary is exported for reuse by command-line tools.
+func PlanSummary(p *metaop.Plan) string {
+	counts := p.CountByKind()
+	parts := make([]string, 0, len(counts))
+	for _, k := range metaop.Kinds() {
+		if counts[k] > 0 {
+			parts = append(parts, fmt.Sprintf("%s×%d", k, counts[k]))
+		}
+	}
+	mode := "transform"
+	if p.LoadFromScratch {
+		mode = "safeguard: load from scratch"
+	}
+	return fmt.Sprintf("%s→%s [%s] est %v (scratch %v): %s",
+		p.SrcName, p.DstName, mode, p.EstCost, p.ScratchCost, strings.Join(parts, " "))
+}

@@ -1,0 +1,188 @@
+package metaop
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/model"
+)
+
+func mkConv(name string, k, w int, wid uint64) model.Operation {
+	return model.Operation{Name: name, Type: model.OpConv2D,
+		Shape:     model.Shape{KernelH: k, KernelW: k, InChannels: w, OutChannels: w, Stride: 1},
+		WeightsID: wid}
+}
+
+func mkChain(name string, ops ...model.Operation) *model.Graph {
+	b := model.NewBuilder(name, "test", name)
+	for _, op := range ops {
+		b.Add(op)
+	}
+	return b.Graph()
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindReplace: "replace", KindReshape: "reshape", KindReduce: "reduce",
+		KindAdd: "add", KindEdge: "edge",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind should render")
+	}
+	if len(Kinds()) != 5 {
+		t.Error("Kinds() should list 5 meta-operators")
+	}
+}
+
+func TestApplyReplaceOnly(t *testing.T) {
+	prof := cost.CPU()
+	src := mkChain("src", mkConv("c", 3, 8, 1))
+	dst := mkChain("dst", mkConv("c", 3, 8, 2))
+	p := &Plan{
+		SrcName: "src", DstName: "dst",
+		Steps: []Step{{Kind: KindReplace, SrcID: 0, DstID: 0, Dst: *dst.Op(0)}},
+	}
+	got, elapsed, err := Apply(prof, p, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(dst) {
+		t.Fatal("replace did not produce destination")
+	}
+	if want := prof.ReplaceCost(dst.Op(0)); elapsed != want {
+		t.Errorf("elapsed %v, want %v", elapsed, want)
+	}
+	// Source untouched.
+	if src.Op(0).WeightsID != 1 {
+		t.Error("Apply mutated the source graph")
+	}
+}
+
+func TestApplySafeguardPath(t *testing.T) {
+	prof := cost.CPU()
+	src := mkChain("src", mkConv("c", 3, 8, 1))
+	dst := mkChain("dst", mkConv("c", 5, 16, 2), mkConv("c2", 3, 16, 3))
+	p := &Plan{LoadFromScratch: true}
+	got, elapsed, err := Apply(prof, p, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(dst) {
+		t.Fatal("safeguard path did not produce destination")
+	}
+	if want := prof.ModelLoad(dst).Total(); elapsed != want {
+		t.Errorf("safeguard elapsed %v, want scratch load %v", elapsed, want)
+	}
+	if got == dst {
+		t.Error("safeguard should return a clone, not the registry graph")
+	}
+}
+
+func TestApplyRejectsMalformedPlans(t *testing.T) {
+	prof := cost.CPU()
+	src := mkChain("src", mkConv("c", 3, 8, 1))
+	dst := mkChain("dst", mkConv("c", 3, 8, 2))
+
+	cases := []struct {
+		name string
+		plan *Plan
+	}{
+		{"dst id out of range", &Plan{Steps: []Step{{Kind: KindReplace, SrcID: 0, DstID: 5, Dst: *dst.Op(0)}}}},
+		{"missing src op", &Plan{Steps: []Step{{Kind: KindReplace, SrcID: 9, DstID: 0, Dst: *dst.Op(0)}}}},
+		{"missing reduce src", &Plan{Steps: []Step{{Kind: KindReduce, SrcID: 9, DstID: -1}}}},
+		{"unknown kind", &Plan{Steps: []Step{{Kind: Kind(77)}}}},
+		{"conflicting slots", &Plan{Steps: []Step{
+			{Kind: KindAdd, SrcID: -1, DstID: 0, Dst: mkConv("x", 3, 8, 7)},
+			{Kind: KindAdd, SrcID: -1, DstID: 0, Dst: mkConv("y", 5, 8, 8)},
+		}}},
+	}
+	for _, c := range cases {
+		if _, _, err := Apply(prof, c.plan, src, dst); err == nil {
+			t.Errorf("%s: Apply accepted malformed plan", c.name)
+		}
+	}
+}
+
+func TestCountAndCostByKind(t *testing.T) {
+	p := &Plan{Steps: []Step{
+		{Kind: KindReplace, EstCost: 2 * time.Millisecond},
+		{Kind: KindReplace, EstCost: 3 * time.Millisecond},
+		{Kind: KindAdd, EstCost: 10 * time.Millisecond},
+		{Kind: KindEdge, EstCost: 50 * time.Microsecond},
+	}}
+	counts := p.CountByKind()
+	if counts[KindReplace] != 2 || counts[KindAdd] != 1 || counts[KindEdge] != 1 {
+		t.Errorf("CountByKind = %v", counts)
+	}
+	costs := p.CostByKind()
+	if costs[KindReplace] != 5*time.Millisecond {
+		t.Errorf("CostByKind[replace] = %v", costs[KindReplace])
+	}
+}
+
+func TestTrueCostSumsSteps(t *testing.T) {
+	prof := cost.CPU()
+	src := mkChain("src", mkConv("c1", 3, 8, 1), mkConv("c2", 3, 8, 2))
+	dst := mkChain("dst", mkConv("c1", 5, 8, 3))
+	p := &Plan{Steps: []Step{
+		{Kind: KindReshape, SrcID: 0, DstID: 0, Dst: *dst.Op(0)},
+		{Kind: KindReplace, SrcID: 0, DstID: 0, Dst: *dst.Op(0)},
+		{Kind: KindReduce, SrcID: 1, DstID: -1},
+		{Kind: KindEdge, EdgeFrom: 0, EdgeTo: 1},
+	}}
+	want := prof.ReshapeCost(src.Op(0), dst.Op(0)) +
+		prof.ReplaceCost(dst.Op(0)) +
+		prof.ReduceCost(src.Op(1)) +
+		prof.EdgeCost(1)
+	if got := p.TrueCost(prof, src); got != want {
+		t.Errorf("TrueCost = %v, want %v", got, want)
+	}
+	gotGraph, elapsed, err := Apply(prof, p, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != want {
+		t.Errorf("Apply elapsed %v, want %v", elapsed, want)
+	}
+	if !gotGraph.Equal(dst) {
+		t.Error("transform result mismatch")
+	}
+}
+
+// TestQuickReplacePlansAlwaysVerify is a property test: for any pair of
+// same-structure weight-variant chains, the all-Replace plan reproduces the
+// destination exactly.
+func TestQuickReplacePlansAlwaysVerify(t *testing.T) {
+	prof := cost.CPU()
+	f := func(kernels []uint8, seed uint32) bool {
+		if len(kernels) == 0 {
+			kernels = []uint8{3}
+		}
+		if len(kernels) > 12 {
+			kernels = kernels[:12]
+		}
+		var srcOps, dstOps []model.Operation
+		for i, k := range kernels {
+			kk := int(k%5) + 1
+			w := 4 + int(k%8)
+			srcOps = append(srcOps, mkConv(string(rune('a'+i%26)), kk, w, uint64(seed)+uint64(i)*2+1))
+			dstOps = append(dstOps, mkConv(string(rune('a'+i%26)), kk, w, uint64(seed)+uint64(i)*2+2))
+		}
+		src, dst := mkChain("s", srcOps...), mkChain("d", dstOps...)
+		var steps []Step
+		for j := range dstOps {
+			steps = append(steps, Step{Kind: KindReplace, SrcID: j, DstID: j, Dst: *dst.Op(j)})
+		}
+		return Verify(prof, &Plan{Steps: steps}, src, dst) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

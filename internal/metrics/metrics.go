@@ -1,0 +1,296 @@
+// Package metrics collects and summarizes per-request measurements from the
+// cluster simulator: latency breakdowns, start-type ratios, percentiles and
+// the correlation statistics the load balancer consumes.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// StartKind classifies how a request's container was obtained, matching the
+// three categories of the paper's Fig 14.
+type StartKind uint8
+
+const (
+	// StartWarm reused a warm container already holding the right model.
+	StartWarm StartKind = iota
+	// StartTransform repurposed a warm-but-idle container of another
+	// function (model transformation in Optimus, package-level container
+	// sharing in Pagurus, op sharing in Tetris).
+	StartTransform
+	// StartCold created a container from scratch.
+	StartCold
+	startKindCount
+)
+
+// String names the start kind.
+func (k StartKind) String() string {
+	switch k {
+	case StartWarm:
+		return "warm"
+	case StartTransform:
+		return "transform"
+	case StartCold:
+		return "cold"
+	default:
+		return fmt.Sprintf("startkind(%d)", uint8(k))
+	}
+}
+
+// Record is one served request.
+type Record struct {
+	Function string
+	Kind     StartKind
+	// Arrival is the request's arrival offset in simulation time; Start is
+	// when a container began serving it; End is completion.
+	Arrival, Start, End time.Duration
+	// Breakdown of the service latency.
+	Wait, Init, Load, Compute time.Duration
+}
+
+// Latency is the user-visible service time: waiting plus initialization plus
+// model acquisition plus inference (§8.3: "the sum of initialization time,
+// computation time, and wait time").
+func (r Record) Latency() time.Duration { return r.End - r.Arrival }
+
+// Collector accumulates request records.
+type Collector struct {
+	records []Record
+}
+
+// Add appends a record.
+func (c *Collector) Add(r Record) { c.records = append(c.records, r) }
+
+// Len returns the number of records.
+func (c *Collector) Len() int { return len(c.records) }
+
+// Records returns the accumulated records (backing store; do not mutate).
+func (c *Collector) Records() []Record { return c.records }
+
+// MeanLatency returns the average end-to-end service time.
+func (c *Collector) MeanLatency() time.Duration {
+	if len(c.records) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, r := range c.records {
+		sum += r.Latency()
+	}
+	return sum / time.Duration(len(c.records))
+}
+
+// Percentile returns the p-th latency percentile (p in [0,100]).
+func (c *Collector) Percentile(p float64) time.Duration {
+	if len(c.records) == 0 {
+		return 0
+	}
+	lat := make([]time.Duration, len(c.records))
+	for i, r := range c.records {
+		lat[i] = r.Latency()
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := int(math.Ceil(p/100*float64(len(lat)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(lat) {
+		idx = len(lat) - 1
+	}
+	return lat[idx]
+}
+
+// KindCounts tallies records per start kind.
+func (c *Collector) KindCounts() map[StartKind]int {
+	out := make(map[StartKind]int, int(startKindCount))
+	for _, r := range c.records {
+		out[r.Kind]++
+	}
+	return out
+}
+
+// KindFractions returns each start kind's share of requests (Fig 14).
+func (c *Collector) KindFractions() map[StartKind]float64 {
+	out := make(map[StartKind]float64, int(startKindCount))
+	if len(c.records) == 0 {
+		return out
+	}
+	for k, n := range c.KindCounts() {
+		out[k] = float64(n) / float64(len(c.records))
+	}
+	return out
+}
+
+// Breakdown is an averaged latency decomposition.
+type Breakdown struct {
+	Wait, Init, Load, Compute time.Duration
+}
+
+// Total sums the breakdown.
+func (b Breakdown) Total() time.Duration { return b.Wait + b.Init + b.Load + b.Compute }
+
+// MeanBreakdown averages the per-request latency decomposition.
+func (c *Collector) MeanBreakdown() Breakdown {
+	var b Breakdown
+	if len(c.records) == 0 {
+		return b
+	}
+	for _, r := range c.records {
+		b.Wait += r.Wait
+		b.Init += r.Init
+		b.Load += r.Load
+		b.Compute += r.Compute
+	}
+	n := time.Duration(len(c.records))
+	return Breakdown{b.Wait / n, b.Init / n, b.Load / n, b.Compute / n}
+}
+
+// PerFunction splits the collector by function name.
+func (c *Collector) PerFunction() map[string]*Collector {
+	out := make(map[string]*Collector)
+	for _, r := range c.records {
+		f := out[r.Function]
+		if f == nil {
+			f = &Collector{}
+			out[r.Function] = f
+		}
+		f.Add(r)
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Corr returns the Pearson correlation coefficient of two equal-length
+// series, the demand-dynamics complementarity measure K(A,B) of §5.1.
+// It returns 0 when either series has zero variance or lengths mismatch.
+func Corr(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	var num, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		num += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return num / (math.Sqrt(va) * math.Sqrt(vb))
+}
+
+// DurationStats summarizes a duration sample.
+type DurationStats struct {
+	Count          int
+	Min, Max, Mean time.Duration
+}
+
+// SummarizeDurations computes min/max/mean over a sample.
+func SummarizeDurations(ds []time.Duration) DurationStats {
+	st := DurationStats{Count: len(ds)}
+	if len(ds) == 0 {
+		return st
+	}
+	st.Min, st.Max = ds[0], ds[0]
+	var sum time.Duration
+	for _, d := range ds {
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+		sum += d
+	}
+	st.Mean = sum / time.Duration(len(ds))
+	return st
+}
+
+// Histogram buckets duration samples on a fixed linear grid, for latency
+// distribution reporting (the CDF-style views behind Figs 12-13).
+type Histogram struct {
+	// Width is the bucket width; Buckets[i] counts samples in
+	// [i·Width, (i+1)·Width); Overflow counts samples beyond the last bucket.
+	Width    time.Duration
+	Buckets  []int
+	Overflow int
+	count    int
+}
+
+// NewHistogram returns a histogram of n buckets of the given width.
+func NewHistogram(width time.Duration, n int) *Histogram {
+	if width <= 0 {
+		width = time.Millisecond
+	}
+	if n <= 0 {
+		n = 1
+	}
+	return &Histogram{Width: width, Buckets: make([]int, n)}
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.count++
+	if d < 0 {
+		d = 0
+	}
+	i := int(d / h.Width)
+	if i >= len(h.Buckets) {
+		h.Overflow++
+		return
+	}
+	h.Buckets[i] += 1
+}
+
+// Count returns the total number of observed samples.
+func (h *Histogram) Count() int { return h.count }
+
+// Quantile returns an upper bound for the q-th quantile (q in [0,1]),
+// resolved to bucket granularity.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	seen := 0
+	for i, c := range h.Buckets {
+		seen += c
+		if seen >= target {
+			return time.Duration(i+1) * h.Width
+		}
+	}
+	return time.Duration(len(h.Buckets)) * h.Width
+}
+
+// LatencyHistogram buckets the collector's request latencies.
+func (c *Collector) LatencyHistogram(width time.Duration, n int) *Histogram {
+	h := NewHistogram(width, n)
+	for _, r := range c.records {
+		h.Observe(r.Latency())
+	}
+	return h
+}

@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func rec(fn string, kind StartKind, arrival, latency time.Duration) Record {
+	return Record{
+		Function: fn, Kind: kind,
+		Arrival: arrival, Start: arrival, End: arrival + latency,
+		Compute: latency,
+	}
+}
+
+func TestStartKindString(t *testing.T) {
+	if StartWarm.String() != "warm" || StartTransform.String() != "transform" || StartCold.String() != "cold" {
+		t.Error("kind names wrong")
+	}
+	if StartKind(9).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestMeanLatency(t *testing.T) {
+	var c Collector
+	if c.MeanLatency() != 0 {
+		t.Error("empty collector mean should be 0")
+	}
+	c.Add(rec("a", StartWarm, 0, 100*time.Millisecond))
+	c.Add(rec("a", StartCold, time.Second, 300*time.Millisecond))
+	if got := c.MeanLatency(); got != 200*time.Millisecond {
+		t.Errorf("MeanLatency = %v, want 200ms", got)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestLatencyIncludesWait(t *testing.T) {
+	r := Record{Arrival: time.Second, Start: 3 * time.Second, End: 4 * time.Second}
+	if r.Latency() != 3*time.Second {
+		t.Errorf("Latency = %v, want 3s (includes queueing)", r.Latency())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var c Collector
+	if c.Percentile(50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	for i := 1; i <= 100; i++ {
+		c.Add(rec("f", StartWarm, 0, time.Duration(i)*time.Millisecond))
+	}
+	if got := c.Percentile(50); got != 50*time.Millisecond {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := c.Percentile(99); got != 99*time.Millisecond {
+		t.Errorf("P99 = %v", got)
+	}
+	if got := c.Percentile(100); got != 100*time.Millisecond {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := c.Percentile(0); got != 1*time.Millisecond {
+		t.Errorf("P0 = %v", got)
+	}
+}
+
+func TestKindCountsAndFractions(t *testing.T) {
+	var c Collector
+	if len(c.KindFractions()) != 0 {
+		t.Error("empty fractions should be empty")
+	}
+	c.Add(rec("a", StartWarm, 0, time.Millisecond))
+	c.Add(rec("a", StartWarm, 0, time.Millisecond))
+	c.Add(rec("a", StartCold, 0, time.Millisecond))
+	c.Add(rec("a", StartTransform, 0, time.Millisecond))
+	counts := c.KindCounts()
+	if counts[StartWarm] != 2 || counts[StartCold] != 1 || counts[StartTransform] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	fr := c.KindFractions()
+	if math.Abs(fr[StartWarm]-0.5) > 1e-9 {
+		t.Errorf("warm fraction = %v", fr[StartWarm])
+	}
+}
+
+func TestMeanBreakdown(t *testing.T) {
+	var c Collector
+	c.Add(Record{Wait: 2 * time.Second, Init: time.Second, Load: 4 * time.Second, Compute: time.Second})
+	c.Add(Record{Wait: 0, Init: time.Second, Load: 2 * time.Second, Compute: 3 * time.Second})
+	b := c.MeanBreakdown()
+	if b.Wait != time.Second || b.Init != time.Second || b.Load != 3*time.Second || b.Compute != 2*time.Second {
+		t.Errorf("breakdown = %+v", b)
+	}
+	if b.Total() != 7*time.Second {
+		t.Errorf("total = %v", b.Total())
+	}
+}
+
+func TestPerFunction(t *testing.T) {
+	var c Collector
+	c.Add(rec("a", StartWarm, 0, time.Millisecond))
+	c.Add(rec("b", StartCold, 0, 2*time.Millisecond))
+	c.Add(rec("a", StartCold, 0, 3*time.Millisecond))
+	per := c.PerFunction()
+	if len(per) != 2 || per["a"].Len() != 2 || per["b"].Len() != 1 {
+		t.Errorf("PerFunction split wrong")
+	}
+}
+
+func TestCorr(t *testing.T) {
+	up := []float64{1, 2, 3, 4, 5}
+	down := []float64{5, 4, 3, 2, 1}
+	if got := Corr(up, up); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Corr(x,x) = %v", got)
+	}
+	if got := Corr(up, down); math.Abs(got+1) > 1e-9 {
+		t.Errorf("Corr(up,down) = %v", got)
+	}
+	flat := []float64{2, 2, 2, 2, 2}
+	if got := Corr(up, flat); got != 0 {
+		t.Errorf("zero-variance Corr = %v", got)
+	}
+	if got := Corr(up, []float64{1, 2}); got != 0 {
+		t.Errorf("length-mismatch Corr = %v", got)
+	}
+	if got := Corr(nil, nil); got != 0 {
+		t.Errorf("empty Corr = %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	st := SummarizeDurations(nil)
+	if st.Count != 0 || st.Mean != 0 {
+		t.Error("empty summary wrong")
+	}
+	st = SummarizeDurations([]time.Duration{3 * time.Second, time.Second, 2 * time.Second})
+	if st.Count != 3 || st.Min != time.Second || st.Max != 3*time.Second || st.Mean != 2*time.Second {
+		t.Errorf("summary = %+v", st)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10*time.Millisecond, 10)
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	h.Observe(-time.Second)           // clamped into bucket 0
+	h.Observe(500 * time.Millisecond) // overflow
+	if h.Count() != 102 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	// 100ms lands exactly on the grid end and overflows alongside 500ms.
+	if h.Overflow != 2 {
+		t.Errorf("Overflow = %d", h.Overflow)
+	}
+	if h.Buckets[0] != 10 { // 1..9 ms plus the clamped negative
+		t.Errorf("bucket 0 = %d", h.Buckets[0])
+	}
+	// Median of ~uniform 1..100ms lands near 50ms (bucket resolution 10ms).
+	if q := h.Quantile(0.5); q < 40*time.Millisecond || q > 60*time.Millisecond {
+		t.Errorf("median = %v", q)
+	}
+	if q := h.Quantile(1.0); q != 100*time.Millisecond {
+		t.Errorf("max quantile = %v", q)
+	}
+	if q := h.Quantile(-1); q <= 0 {
+		t.Errorf("clamped quantile = %v", q)
+	}
+	// Empty histogram.
+	if NewHistogram(0, 0).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+}
+
+func TestLatencyHistogram(t *testing.T) {
+	var c Collector
+	c.Add(rec("a", StartWarm, 0, 5*time.Millisecond))
+	c.Add(rec("a", StartCold, 0, 95*time.Millisecond))
+	h := c.LatencyHistogram(10*time.Millisecond, 10)
+	if h.Count() != 2 || h.Buckets[0] != 1 || h.Buckets[9] != 1 {
+		t.Errorf("histogram = %+v", h)
+	}
+}

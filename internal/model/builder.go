@@ -1,0 +1,115 @@
+package model
+
+// Builder provides a fluent way to construct model graphs. Zoo generators
+// use it to express architectures as sequential chains with occasional
+// branches (residual connections, inception towers, dense blocks).
+//
+// The builder tracks a "tail": the operation(s) whose outputs feed the next
+// appended operation.
+type Builder struct {
+	g     *Graph
+	tails []int
+	scope string
+}
+
+// NewBuilder returns a builder for a fresh graph. scope seeds weight
+// identities: every weighted op added through the builder gets
+// WeightsIDFor(scope, name) unless an explicit WeightsID is provided.
+func NewBuilder(name, family, scope string) *Builder {
+	if scope == "" {
+		scope = name
+	}
+	return &Builder{g: NewGraph(name, family), scope: scope}
+}
+
+// Graph returns the graph under construction.
+func (b *Builder) Graph() *Graph { return b.g }
+
+// Tail returns the current tail operation IDs.
+func (b *Builder) Tail() []int { return append([]int(nil), b.tails...) }
+
+// SetTail overrides the current tail. Used to start a branch from an
+// earlier point of the graph.
+func (b *Builder) SetTail(ids ...int) { b.tails = append(b.tails[:0], ids...) }
+
+// Add appends op, connects every current tail to it, and makes it the sole
+// tail. It returns the new operation's ID. Weighted operations with a zero
+// WeightsID get a deterministic identity derived from the builder scope and
+// the op name.
+func (b *Builder) Add(op Operation) int {
+	if op.Type.HasWeights() && op.WeightsID == 0 {
+		op.WeightsID = WeightsIDFor(b.scope, op.Name)
+	}
+	o := b.g.AddOp(op)
+	for _, t := range b.tails {
+		b.g.Connect(t, o.ID)
+	}
+	b.tails = append(b.tails[:0], o.ID)
+	return o.ID
+}
+
+// AddFrom appends op fed by the explicit predecessor set from (the current
+// tail is ignored) and makes it the sole tail.
+func (b *Builder) AddFrom(op Operation, from ...int) int {
+	b.SetTail(from...)
+	return b.Add(op)
+}
+
+// Conv appends a Conv2D with a ReLU-free plain convolution.
+func (b *Builder) Conv(name string, k, in, out, stride int) int {
+	return b.Add(Operation{Name: name, Type: OpConv2D,
+		Shape: Shape{KernelH: k, KernelW: k, InChannels: in, OutChannels: out, Stride: stride}})
+}
+
+// Dense appends a fully connected layer.
+func (b *Builder) Dense(name string, in, out int) int {
+	return b.Add(Operation{Name: name, Type: OpDense,
+		Shape: Shape{InChannels: in, OutChannels: out}})
+}
+
+// BN appends a batch normalization over width channels.
+func (b *Builder) BN(name string, width int) int {
+	return b.Add(Operation{Name: name, Type: OpBatchNorm, Shape: Shape{OutChannels: width}})
+}
+
+// ReLU appends a ReLU activation over width channels.
+func (b *Builder) ReLU(name string, width int) int {
+	return b.Add(Operation{Name: name, Type: OpReLU, Shape: Shape{OutChannels: width}})
+}
+
+// MaxPool appends a k×k max pooling with the given stride.
+func (b *Builder) MaxPool(name string, k, width, stride int) int {
+	return b.Add(Operation{Name: name, Type: OpMaxPool,
+		Shape: Shape{KernelH: k, KernelW: k, InChannels: width, OutChannels: width, Stride: stride}})
+}
+
+// AvgPool appends a k×k average pooling with the given stride.
+func (b *Builder) AvgPool(name string, k, width, stride int) int {
+	return b.Add(Operation{Name: name, Type: OpAvgPool,
+		Shape: Shape{KernelH: k, KernelW: k, InChannels: width, OutChannels: width, Stride: stride}})
+}
+
+// GlobalAvgPool appends a global average pooling over width channels.
+func (b *Builder) GlobalAvgPool(name string, width int) int {
+	return b.Add(Operation{Name: name, Type: OpGlobalAvgPool, Shape: Shape{InChannels: width, OutChannels: width}})
+}
+
+// AddMerge appends an elementwise Add merging the given inputs.
+func (b *Builder) AddMerge(name string, width int, inputs ...int) int {
+	return b.AddFrom(Operation{Name: name, Type: OpAdd, Shape: Shape{OutChannels: width}}, inputs...)
+}
+
+// ConcatMerge appends a channel Concat merging the given inputs.
+func (b *Builder) ConcatMerge(name string, width int, inputs ...int) int {
+	return b.AddFrom(Operation{Name: name, Type: OpConcat, Shape: Shape{OutChannels: width}}, inputs...)
+}
+
+// Input starts the graph with an input op of the given channel width.
+func (b *Builder) Input(width int) int {
+	return b.Add(Operation{Name: "input", Type: OpInput, Shape: Shape{OutChannels: width}})
+}
+
+// Output terminates the graph with an output op.
+func (b *Builder) Output(width int) int {
+	return b.Add(Operation{Name: "output", Type: OpOutput, Shape: Shape{InChannels: width, OutChannels: width}})
+}

@@ -1,0 +1,33 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot format for visual inspection
+// (`optimus-zoo dot <model> | dot -Tsvg`). Weighted operations are drawn as
+// boxes with their parameter counts; weight-free ones as ellipses.
+func dotEscape(s string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`).Replace(s)
+}
+
+// DOT renders the graph (see type comment above).
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [fontsize=10];\n", g.Name)
+	for _, op := range g.Ops() {
+		shape := "ellipse"
+		label := fmt.Sprintf("%s\\n%s", dotEscape(op.Name), op.Type)
+		if op.HasWeights() {
+			shape = "box"
+			label += fmt.Sprintf("\\n%s | %dw", op.Shape, op.WeightCount())
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\" shape=%s];\n", op.ID, label, shape)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

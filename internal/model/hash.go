@@ -1,0 +1,65 @@
+package model
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// StructureHash returns a 64-bit hash over the graph's structure (op types,
+// shapes, and edges; weight identities excluded). Two graphs with equal
+// structure hash are StructuralEqual with overwhelming probability; the plan
+// cache keys transformation plans by (source hash, destination hash).
+func (g *Graph) StructureHash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeInt(int64(len(g.ops)))
+	for _, op := range g.ops {
+		writeInt(int64(op.Type))
+		writeInt(int64(op.Shape.KernelH))
+		writeInt(int64(op.Shape.KernelW))
+		writeInt(int64(op.Shape.InChannels))
+		writeInt(int64(op.Shape.OutChannels))
+		writeInt(int64(op.Shape.Stride))
+	}
+	for _, e := range g.Edges() {
+		writeInt(int64(e.From))
+		writeInt(int64(e.To))
+	}
+	return h.Sum64()
+}
+
+// WeightsHash returns a 64-bit hash over the weight identities of all
+// weighted operations, in ID order. Combined with StructureHash it fully
+// identifies a model.
+func (g *Graph) WeightsHash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, op := range g.ops {
+		if op.HasWeights() {
+			binary.LittleEndian.PutUint64(buf[:], op.WeightsID)
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// WeightsIDFor derives a deterministic weight identity for a named tensor of
+// a named model. Zoo builders use it so that, for example, the shared BERT
+// base layers of two downstream-task models get the *same* WeightsID (they
+// really are the same pre-trained tensor) while independently trained layers
+// get distinct IDs.
+func WeightsIDFor(scope, tensor string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(scope))
+	h.Write([]byte{0})
+	h.Write([]byte(tensor))
+	id := h.Sum64()
+	if id == 0 {
+		id = 1 // 0 is reserved for "no weights"
+	}
+	return id
+}

@@ -1,0 +1,85 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The paper's prototype stores model structure information in JSON next to
+// the HDF5 weight files (§7). This file provides the equivalent codec so
+// models can be registered over the gateway's REST API and persisted.
+
+type jsonOp struct {
+	Name      string `json:"name"`
+	Type      string `json:"type"`
+	KernelH   int    `json:"kernel_h,omitempty"`
+	KernelW   int    `json:"kernel_w,omitempty"`
+	In        int    `json:"in,omitempty"`
+	Out       int    `json:"out,omitempty"`
+	Stride    int    `json:"stride,omitempty"`
+	WeightsID uint64 `json:"weights_id,omitempty"`
+}
+
+type jsonGraph struct {
+	Name   string   `json:"name"`
+	Family string   `json:"family"`
+	Ops    []jsonOp `json:"ops"`
+	Edges  [][2]int `json:"edges"`
+}
+
+// MarshalJSON encodes the graph in the on-disk structure format.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.Name, Family: g.Family, Ops: make([]jsonOp, len(g.ops))}
+	for i, op := range g.ops {
+		jg.Ops[i] = jsonOp{
+			Name:      op.Name,
+			Type:      op.Type.String(),
+			KernelH:   op.Shape.KernelH,
+			KernelW:   op.Shape.KernelW,
+			In:        op.Shape.InChannels,
+			Out:       op.Shape.OutChannels,
+			Stride:    op.Shape.Stride,
+			WeightsID: op.WeightsID,
+		}
+	}
+	for _, e := range g.Edges() {
+		jg.Edges = append(jg.Edges, [2]int{e.From, e.To})
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes a graph from the on-disk structure format and
+// validates it.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("model: decoding graph: %w", err)
+	}
+	ng := NewGraph(jg.Name, jg.Family)
+	for _, jo := range jg.Ops {
+		t, err := OpTypeFromString(jo.Type)
+		if err != nil {
+			return err
+		}
+		ng.AddOp(Operation{
+			Name: jo.Name,
+			Type: t,
+			Shape: Shape{
+				KernelH: jo.KernelH, KernelW: jo.KernelW,
+				InChannels: jo.In, OutChannels: jo.Out, Stride: jo.Stride,
+			},
+			WeightsID: jo.WeightsID,
+		})
+	}
+	for _, e := range jg.Edges {
+		if e[0] < 0 || e[0] >= ng.NumOps() || e[1] < 0 || e[1] >= ng.NumOps() {
+			return fmt.Errorf("model: graph %q edge %v out of range", jg.Name, e)
+		}
+		ng.Connect(e[0], e[1])
+	}
+	if err := ng.Validate(); err != nil {
+		return err
+	}
+	*g = *ng
+	return nil
+}

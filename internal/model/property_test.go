@@ -1,0 +1,118 @@
+package model
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randGraph builds a random valid DAG: ops in ID order with forward edges.
+func randGraph(seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph("rand", "prop")
+	n := 2 + rng.Intn(20)
+	types := []OpType{OpConv2D, OpDense, OpReLU, OpBatchNorm, OpMaxPool, OpAdd, OpLSTM, OpEmbedding}
+	for i := 0; i < n; i++ {
+		t := types[rng.Intn(len(types))]
+		op := Operation{Name: "op", Type: t, Shape: Shape{
+			KernelH: 1 + rng.Intn(7), KernelW: 1 + rng.Intn(7),
+			InChannels: 1 + rng.Intn(64), OutChannels: 1 + rng.Intn(64),
+			Stride: 1 + rng.Intn(2),
+		}}
+		if t.HasWeights() {
+			op.WeightsID = rng.Uint64() | 1
+		}
+		g.AddOp(op)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(4) == 0 {
+				g.Connect(i, j)
+			}
+		}
+	}
+	if g.NumEdges() == 0 && n >= 2 {
+		g.Connect(0, 1)
+	}
+	return g
+}
+
+// TestQuickCloneEqual: clones are Equal and structurally independent.
+func TestQuickCloneEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randGraph(seed)
+		c := g.Clone()
+		if !g.Equal(c) || g.StructureHash() != c.StructureHash() || g.WeightsHash() != c.WeightsHash() {
+			return false
+		}
+		// Mutating the clone never affects the original.
+		c.Op(0).Shape.OutChannels++
+		return !g.StructuralEqual(c) || g.Op(0).Shape.OutChannels != c.Op(0).Shape.OutChannels
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickJSONRoundTrip: arbitrary graphs survive the on-disk codec.
+func TestQuickJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randGraph(seed)
+		if g.Validate() != nil {
+			return true // skip: generator produced weighted op with zero count
+		}
+		data, err := json.Marshal(g)
+		if err != nil {
+			return false
+		}
+		var back Graph
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return g.Equal(&back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTopoSortRespectsEdges: every generated DAG topo-sorts and the
+// order respects every edge.
+func TestQuickTopoSortRespectsEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randGraph(seed)
+		order, err := g.TopoSort()
+		if err != nil || len(order) != g.NumOps() {
+			return false
+		}
+		pos := make(map[int]int, len(order))
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHashDiscriminates: structurally different graphs (almost) never
+// collide; equal graphs always agree.
+func TestQuickHashDiscriminates(t *testing.T) {
+	f := func(a, b int64) bool {
+		ga, gb := randGraph(a), randGraph(b)
+		if ga.StructuralEqual(gb) {
+			return ga.StructureHash() == gb.StructureHash()
+		}
+		return ga.StructureHash() != gb.StructureHash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package planner
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/zoo"
+)
+
+func benchPair(b *testing.B, algo Algorithm, src, dst string) {
+	img := zoo.Imgclsmob()
+	s, d := img.MustGet(src), img.MustGet(dst)
+	pl := New(cost.Exact(cost.CPU()), algo)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pl.Plan(s, d) == nil {
+			b.Fatal("nil plan")
+		}
+	}
+}
+
+func BenchmarkGroupSameFamily(b *testing.B) {
+	benchPair(b, AlgoGroup, "resnet50-imagenet", "resnet101-imagenet")
+}
+func BenchmarkGroupCrossFamily(b *testing.B) {
+	benchPair(b, AlgoGroup, "vgg16-imagenet", "densenet121-imagenet")
+}
+func BenchmarkHungarianSameFamily(b *testing.B) {
+	benchPair(b, AlgoHungarian, "resnet50-imagenet", "resnet101-imagenet")
+}
+func BenchmarkBuildMatrix(b *testing.B) {
+	img := zoo.Imgclsmob()
+	s, d := img.MustGet("resnet50-imagenet"), img.MustGet("vgg16-imagenet")
+	est := cost.Exact(cost.CPU())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if BuildMatrix(est, s, d) == nil {
+			b.Fatal("nil matrix")
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package planner
+
+// bruteForceLimit caps the matrix size the brute-force solver accepts;
+// (n+m)! beyond 9 is unusable even as a test oracle.
+const bruteForceLimit = 9
+
+// bruteForce enumerates all permutations of the assignment (the O((n+m)!)
+// formulation of §4.4 Module 2) and returns the optimal row→column
+// assignment and its cost. It panics if the matrix exceeds bruteForceLimit.
+func bruteForce(mx *Matrix) ([]int, float64) {
+	n := mx.Size()
+	if n > bruteForceLimit {
+		panic("planner: brute force beyond factorial limit")
+	}
+	perm := make([]int, n)
+	best := make([]int, n)
+	used := make([]bool, n)
+	bestCost := -1.0
+
+	var rec func(row int, acc float64)
+	rec = func(row int, acc float64) {
+		if bestCost >= 0 && acc >= bestCost {
+			return // prune: costs are non-negative
+		}
+		if row == n {
+			bestCost = acc
+			copy(best, perm)
+			return
+		}
+		for col := 0; col < n; col++ {
+			if used[col] {
+				continue
+			}
+			used[col] = true
+			perm[row] = col
+			rec(row+1, acc+mx.At(row, col))
+			used[col] = false
+		}
+	}
+	rec(0, 0)
+	return best, bestCost
+}

@@ -1,0 +1,98 @@
+package planner
+
+import (
+	"sync"
+
+	"repro/internal/metaop"
+	"repro/internal/model"
+)
+
+// Cache implements the planning-strategy cache of §4.4 Module 3: plans are
+// computed offline when models register and read back at transformation time,
+// so the online path does no planning work. Keys are (source structure hash,
+// source weights hash, destination structure hash, destination weights hash)
+// — two models with identical structure but different weights transform
+// differently (Replace steps), so weights participate in the key.
+type Cache struct {
+	mu sync.RWMutex
+	m  map[cacheKey]*metaop.Plan
+	// ids memoizes per-graph hash pairs. Graphs handed out by the zoo
+	// registries are immutable by convention (containers hold clones), so
+	// pointer-keyed memoization is safe and makes the online cache lookup
+	// O(1) instead of re-hashing both graphs.
+	ids map[*model.Graph]graphID
+
+	hits, misses int
+}
+
+type graphID struct{ structure, weights uint64 }
+
+type cacheKey struct {
+	src, dst graphID
+}
+
+// NewCache returns an empty plan cache.
+func NewCache() *Cache {
+	return &Cache{
+		m:   make(map[cacheKey]*metaop.Plan),
+		ids: make(map[*model.Graph]graphID),
+	}
+}
+
+// idFor must be called with c.mu held.
+func (c *Cache) idFor(g *model.Graph) graphID {
+	if id, ok := c.ids[g]; ok {
+		return id
+	}
+	id := graphID{structure: g.StructureHash(), weights: g.WeightsHash()}
+	c.ids[g] = id
+	return id
+}
+
+func (c *Cache) keyFor(src, dst *model.Graph) cacheKey {
+	return cacheKey{src: c.idFor(src), dst: c.idFor(dst)}
+}
+
+// Get returns the cached plan for src→dst, if any.
+func (c *Cache) Get(src, dst *model.Graph) (*metaop.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.m[c.keyFor(src, dst)]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return p, ok
+}
+
+// Put stores a plan for src→dst.
+func (c *Cache) Put(src, dst *model.Graph, p *metaop.Plan) {
+	c.mu.Lock()
+	c.m[c.keyFor(src, dst)] = p
+	c.mu.Unlock()
+}
+
+// GetOrPlan returns the cached plan or computes and caches one with pl.
+func (c *Cache) GetOrPlan(pl *Planner, src, dst *model.Graph) *metaop.Plan {
+	if p, ok := c.Get(src, dst); ok {
+		return p
+	}
+	p := pl.Plan(src, dst)
+	c.Put(src, dst, p)
+	return p
+}
+
+// Len returns the number of cached plans.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Stats returns cache hit and miss counts.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.misses
+}

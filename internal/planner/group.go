@@ -1,0 +1,132 @@
+package planner
+
+import (
+	"repro/internal/cost"
+	"repro/internal/model"
+)
+
+// groupMapping implements the efficient group-based transformation algorithm
+// of §4.4 Module 2⁺ in O(n+m):
+//
+//  1. group the operations of both models by type;
+//  2. within each type, match operations sequentially one by one in
+//     topological order (per the observation that operation shapes grow
+//     monotonically with depth, sequential matching of weighted ops is
+//     near-optimal, and weight-free ops can be matched arbitrarily);
+//  3. unmatched source ops are reduced, unmatched destination ops added.
+func groupMapping(est *cost.Estimator, src, dst *model.Graph) Mapping {
+	srcOrder := topoOrder(src)
+	dstOrder := topoOrder(dst)
+
+	srcGroups := make(map[model.OpType][]int)
+	for _, id := range srcOrder {
+		t := src.Op(id).Type
+		srcGroups[t] = append(srcGroups[t], id)
+	}
+	dstGroups := make(map[model.OpType][]int)
+	for _, id := range dstOrder {
+		t := dst.Op(id).Type
+		dstGroups[t] = append(dstGroups[t], id)
+	}
+
+	mp := Mapping{SrcToDst: make([]int, src.NumOps())}
+	for i := range mp.SrcToDst {
+		mp.SrcToDst[i] = -1
+	}
+	matched := make([]bool, dst.NumOps())
+	for t, srcIDs := range srcGroups {
+		matchGroup(est, src, dst, srcIDs, dstGroups[t], mp.SrcToDst, matched)
+	}
+	for j := 0; j < dst.NumOps(); j++ {
+		if !matched[j] {
+			mp.Added = append(mp.Added, j)
+		}
+	}
+	return mp
+}
+
+// matchKey buckets operations within a type group. Identical keys mean a
+// substitution needs no Reshape (and, when weights also coincide, no work at
+// all), so the matcher pairs those first.
+type matchKey struct {
+	shape   model.Shape
+	weights uint64
+}
+
+// matchGroup pairs source and destination operations of one type in three
+// linear passes: (1) identical shape+weights (zero-cost matches — shared
+// pre-trained tensors, e.g. the BERT base under two downstream heads);
+// (2) identical shape (Replace only); (3) remaining ops sequentially in
+// topological order (Reshape), exploiting the monotone-shape observation.
+func matchGroup(est *cost.Estimator, src, dst *model.Graph, srcIDs, dstIDs []int, srcToDst []int, matched []bool) {
+	pair := func(i, j int) {
+		srcToDst[i] = j
+		matched[j] = true
+	}
+	srcLeft := append([]int(nil), srcIDs...)
+	dstLeft := append([]int(nil), dstIDs...)
+
+	for pass := 0; pass < 2; pass++ {
+		buckets := make(map[matchKey][]int, len(srcLeft))
+		for _, i := range srcLeft {
+			k := keyOf(src.Op(i), pass)
+			buckets[k] = append(buckets[k], i)
+		}
+		var nextSrc, nextDst []int
+		usedSrc := make(map[int]bool)
+		for _, j := range dstLeft {
+			k := keyOf(dst.Op(j), pass)
+			if cands := buckets[k]; len(cands) > 0 {
+				i := cands[0]
+				buckets[k] = cands[1:]
+				usedSrc[i] = true
+				pair(i, j)
+			} else {
+				nextDst = append(nextDst, j)
+			}
+		}
+		for _, i := range srcLeft {
+			if !usedSrc[i] {
+				nextSrc = append(nextSrc, i)
+			}
+		}
+		srcLeft, dstLeft = nextSrc, nextDst
+	}
+	// Final pass: remaining ops sequentially in topological order, skipping
+	// pairs the profile rules un-reshapeable (extreme size ratios); those
+	// destinations fall through to Add and the sources to Reduce.
+	prof := est.Profile()
+	si := 0
+	for _, j := range dstLeft {
+		for si < len(srcLeft) && !prof.Reshapeable(src.Op(srcLeft[si]), dst.Op(j)) {
+			si++
+		}
+		if si == len(srcLeft) {
+			break
+		}
+		pair(srcLeft[si], j)
+		si++
+	}
+}
+
+func keyOf(op *model.Operation, pass int) matchKey {
+	k := matchKey{shape: op.Shape}
+	if pass == 0 {
+		k.weights = op.WeightsID
+	}
+	return k
+}
+
+// topoOrder returns a topological order, falling back to ID order if the
+// graph is (unexpectedly) cyclic; planners must not fail on zoo output,
+// which is always validated acyclic.
+func topoOrder(g *model.Graph) []int {
+	order, err := g.TopoSort()
+	if err != nil {
+		order = make([]int, g.NumOps())
+		for i := range order {
+			order[i] = i
+		}
+	}
+	return order
+}

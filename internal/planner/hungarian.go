@@ -1,0 +1,73 @@
+package planner
+
+import "math"
+
+// hungarian solves the square assignment problem in O(size³) using the
+// Kuhn-Munkres algorithm with potentials (the "Munkres algorithm" of §4.4
+// Module 2, applied to the Riesen-Bunke matrix). It returns the row→column
+// assignment and the total cost.
+func hungarian(mx *Matrix) ([]int, float64) {
+	n := mx.Size()
+	// 1-indexed potentials and matching per the classic formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)   // p[j] = row matched to column j (0 = none)
+	way := make([]int, n+1) // way[j] = previous column on the alternating path
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := mx.At(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	rowToCol := make([]int, n)
+	var total float64
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			rowToCol[p[j]-1] = j - 1
+			total += mx.At(p[j]-1, j-1)
+		}
+	}
+	return rowToCol, total
+}

@@ -1,0 +1,155 @@
+package planner
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/metaop"
+	"repro/internal/model"
+)
+
+// Algorithm selects the planning solver.
+type Algorithm int
+
+const (
+	// AlgoGroup is the linear-time group-based algorithm (Module 2⁺), the
+	// production default.
+	AlgoGroup Algorithm = iota
+	// AlgoHungarian is the basic optimal algorithm via Munkres assignment
+	// (Module 2).
+	AlgoHungarian
+	// AlgoBrute enumerates permutations; usable only for tiny graphs and
+	// kept as the optimality oracle for tests.
+	AlgoBrute
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoGroup:
+		return "group"
+	case AlgoHungarian:
+		return "hungarian"
+	case AlgoBrute:
+		return "brute"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// Planner computes transformation plans between model graphs.
+type Planner struct {
+	est  *cost.Estimator
+	algo Algorithm
+}
+
+// New returns a planner using the given profiled cost estimates and solver.
+func New(est *cost.Estimator, algo Algorithm) *Planner {
+	return &Planner{est: est, algo: algo}
+}
+
+// Estimator returns the planner's cost estimator.
+func (p *Planner) Estimator() *cost.Estimator { return p.est }
+
+// Plan computes a transformation plan from src to dst, including the
+// safeguard decision: if the estimated transformation cost exceeds loading
+// dst from scratch, the plan is flagged LoadFromScratch.
+func (p *Planner) Plan(src, dst *model.Graph) *metaop.Plan {
+	mp := p.mapping(src, dst)
+	plan := BuildPlan(p.est, src, dst, mp)
+	plan.ScratchCost = p.est.ModelLoad(dst)
+	if plan.EstCost > plan.ScratchCost {
+		plan.LoadFromScratch = true
+	}
+	return plan
+}
+
+func (p *Planner) mapping(src, dst *model.Graph) Mapping {
+	switch p.algo {
+	case AlgoHungarian:
+		mx := BuildMatrix(p.est, src, dst)
+		rowToCol, _ := hungarian(mx)
+		return mappingFromAssignment(mx, rowToCol)
+	case AlgoBrute:
+		mx := BuildMatrix(p.est, src, dst)
+		rowToCol, _ := bruteForce(mx)
+		return mappingFromAssignment(mx, rowToCol)
+	default:
+		return groupMapping(p.est, src, dst)
+	}
+}
+
+// BuildPlan converts an operation mapping into an executable meta-operator
+// plan: substitutions become Replace/Reshape steps, deletions Reduce steps,
+// insertions Add steps, and the edge difference under the mapping becomes
+// Edge steps.
+func BuildPlan(est *cost.Estimator, src, dst *model.Graph, mp Mapping) *metaop.Plan {
+	plan := &metaop.Plan{
+		SrcName: src.Name, DstName: dst.Name,
+		SrcHash: src.StructureHash(), DstHash: dst.StructureHash(),
+	}
+	var total time.Duration
+	add := func(s metaop.Step) {
+		plan.Steps = append(plan.Steps, s)
+		total += s.EstCost
+	}
+
+	for i, j := range mp.SrcToDst {
+		srcOp := src.Op(i)
+		if j < 0 {
+			add(metaop.Step{Kind: metaop.KindReduce, SrcID: i, DstID: -1, EstCost: est.ReduceCost(srcOp)})
+			continue
+		}
+		dstOp := dst.Op(j)
+		switch {
+		case srcOp.Shape == dstOp.Shape && srcOp.WeightsID == dstOp.WeightsID:
+			// Perfect match: zero cost, no step.
+		case srcOp.Shape == dstOp.Shape:
+			add(metaop.Step{Kind: metaop.KindReplace, SrcID: i, DstID: j, Dst: withID(dstOp, j),
+				EstCost: est.ReplaceCost(dstOp)})
+		default:
+			add(metaop.Step{Kind: metaop.KindReshape, SrcID: i, DstID: j, Dst: withID(dstOp, j),
+				EstCost: est.ReshapeCost(srcOp, dstOp)})
+			if dstOp.HasWeights() {
+				add(metaop.Step{Kind: metaop.KindReplace, SrcID: i, DstID: j, Dst: withID(dstOp, j),
+					EstCost: est.ReplaceCost(dstOp)})
+			}
+		}
+	}
+	for _, j := range mp.Added {
+		add(metaop.Step{Kind: metaop.KindAdd, SrcID: -1, DstID: j, Dst: withID(dst.Op(j), j),
+			EstCost: est.AddCost(dst.Op(j))})
+	}
+
+	// Edge difference under the mapping: source edges whose mapped image is
+	// not a destination edge are removed; destination edges not covered by a
+	// mapped source edge are added.
+	kept := make(map[model.Edge]bool)
+	for _, e := range src.Edges() {
+		mf, mt := mp.SrcToDst[e.From], mp.SrcToDst[e.To]
+		if mf >= 0 && mt >= 0 && dst.HasEdge(mf, mt) {
+			kept[model.Edge{From: mf, To: mt}] = true
+			continue
+		}
+		add(metaop.Step{Kind: metaop.KindEdge, SrcID: -1, DstID: -1,
+			EdgeFrom: e.From, EdgeTo: e.To, EdgeAdd: false, EstCost: est.EdgeCost(1)})
+	}
+	for _, e := range dst.Edges() {
+		if !kept[e] {
+			add(metaop.Step{Kind: metaop.KindEdge, SrcID: -1, DstID: -1,
+				EdgeFrom: e.From, EdgeTo: e.To, EdgeAdd: true, EstCost: est.EdgeCost(1)})
+		}
+	}
+
+	plan.EstCost = total
+	return plan
+}
+
+// withID returns a copy of op with its ID set to the destination slot, so
+// executed steps materialize ops with correct destination identifiers.
+func withID(op *model.Operation, id int) model.Operation {
+	cp := *op
+	cp.ID = id
+	return cp
+}

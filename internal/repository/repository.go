@@ -1,0 +1,186 @@
+// Package repository is the global model repository of §4.4 Module 3 / §7:
+// models persist as JSON structure files in a directory (the role the
+// paper's Docker volume of HDF + JSON files plays), with an index and
+// transformation-plan precomputation on registration.
+//
+// The store is safe for concurrent use and survives process restarts: a
+// gateway started over an existing directory reloads every model.
+package repository
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/planner"
+)
+
+// Store is a directory-backed model repository.
+type Store struct {
+	dir string
+
+	mu     sync.RWMutex
+	models map[string]*model.Graph
+
+	// plans, when configured with a planner, caches pairwise transformation
+	// strategies as models register (§4.4 Module 3).
+	pl    *planner.Planner
+	plans *planner.Cache
+}
+
+// Open loads (or initializes) a repository at dir. If pl is non-nil, plans
+// between all stored models are precomputed into Plans().
+func Open(dir string, pl *planner.Planner) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("repository: creating %s: %w", dir, err)
+	}
+	s := &Store{
+		dir:    dir,
+		models: make(map[string]*model.Graph),
+		pl:     pl,
+		plans:  planner.NewCache(),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("repository: reading %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		g, err := s.loadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		s.models[g.Name] = g
+	}
+	if pl != nil {
+		for _, a := range s.models {
+			for _, b := range s.models {
+				if a != b {
+					s.plans.GetOrPlan(pl, a, b)
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) loadFile(path string) (*model.Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("repository: reading %s: %w", path, err)
+	}
+	var g model.Graph
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("repository: decoding %s: %w", path, err)
+	}
+	return &g, nil
+}
+
+// fileFor sanitizes a model name into a filename.
+func (s *Store) fileFor(name string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+	return filepath.Join(s.dir, safe+".json")
+}
+
+// Put persists a model and precomputes plans against the existing catalog.
+// Duplicate names are rejected.
+func (s *Store) Put(g *model.Graph) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if _, dup := s.models[g.Name]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("repository: model %q already stored", g.Name)
+	}
+	s.models[g.Name] = g
+	others := make([]*model.Graph, 0, len(s.models)-1)
+	for _, o := range s.models {
+		if o.Name != g.Name {
+			others = append(others, o)
+		}
+	}
+	s.mu.Unlock()
+
+	data, err := json.MarshalIndent(g, "", " ")
+	if err != nil {
+		return fmt.Errorf("repository: encoding %s: %w", g.Name, err)
+	}
+	tmp := s.fileFor(g.Name) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("repository: writing %s: %w", g.Name, err)
+	}
+	if err := os.Rename(tmp, s.fileFor(g.Name)); err != nil {
+		return fmt.Errorf("repository: committing %s: %w", g.Name, err)
+	}
+	if s.pl != nil {
+		for _, o := range others {
+			s.plans.GetOrPlan(s.pl, o, g)
+			s.plans.GetOrPlan(s.pl, g, o)
+		}
+	}
+	return nil
+}
+
+// Get returns a stored model by name.
+func (s *Store) Get(name string) (*model.Graph, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g, ok := s.models[name]
+	return g, ok
+}
+
+// Delete removes a model from memory and disk.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	_, ok := s.models[name]
+	delete(s.models, name)
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("repository: unknown model %q", name)
+	}
+	if err := os.Remove(s.fileFor(name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("repository: deleting %s: %w", name, err)
+	}
+	return nil
+}
+
+// Names returns the stored model names, sorted.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.models))
+	for n := range s.models {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of stored models.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.models)
+}
+
+// Plans returns the precomputed transformation-plan cache.
+func (s *Store) Plans() *planner.Cache { return s.plans }
+
+// Dir returns the backing directory.
+func (s *Store) Dir() string { return s.dir }

@@ -1,0 +1,36 @@
+package simulate_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/simulate"
+	"repro/internal/workload"
+)
+
+func BenchmarkRun24hOptimus(b *testing.B) {
+	names := []string{"resnet18-imagenet", "resnet50-imagenet", "vgg16-imagenet", "densenet121-imagenet"}
+	fns := testFunctions(b, names...)
+	tr := workload.MixedPoisson(names, 24*time.Hour, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := simulate.New(simulate.Config{Policy: policy.Optimus{}, Nodes: 2, ContainersPerNode: 2}, fns)
+		if _, err := sim.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()), "requests/op")
+}
+
+func BenchmarkOnlineInvoke(b *testing.B) {
+	names := []string{"resnet18-imagenet", "resnet34-imagenet"}
+	o := simulate.NewOnline(simulate.Config{Policy: policy.Optimus{}, Nodes: 1, ContainersPerNode: 2},
+		testFunctions(b, names...))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Invoke(names[i%2], time.Duration(i)*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,432 @@
+package simulate
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/metaop"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a cluster simulation.
+type Config struct {
+	// Nodes is the worker-node count; ContainersPerNode bounds concurrent
+	// containers per node.
+	Nodes             int
+	ContainersPerNode int
+	// KeepAlive is the container keep-alive horizon (default 10 min, §8.1).
+	KeepAlive time.Duration
+	// IdleThreshold is the §4.2 idle-identification threshold (default 60 s).
+	IdleThreshold time.Duration
+	// Profile is the hardware cost profile (default cost.CPU()).
+	Profile *cost.Profile
+	// Policy is the container-management policy under test.
+	Policy Policy
+	// Placement maps function name → candidate node IDs. Functions absent
+	// from the map (or a nil map) are hashed across all nodes.
+	Placement map[string][]int
+	// PlannerAlgo selects the transformation planning algorithm for
+	// policies that plan (default AlgoGroup).
+	PlannerAlgo planner.Algorithm
+	// EstimatorErr adds deterministic profiling noise to planner estimates.
+	EstimatorErr float64
+	// Seed drives the estimator noise.
+	Seed int64
+	// VerifyTransforms executes every transformation plan through the
+	// meta-operator engine and checks the rewritten graph equals the
+	// destination model. Slower; used in tests and small demos.
+	VerifyTransforms bool
+	// OnlineProfiling, when positive, is the EWMA rate at which observed
+	// meta-operator execution times refine the planner's cost estimates
+	// while the system runs (§6 Future Work). Zero keeps the paper's
+	// offline-only profiling.
+	OnlineProfiling float64
+	// NodeMemoryMB bounds each node's total container memory; zero keeps
+	// the slot-based mode. ContainerMemoryMB, when positive, fixes every
+	// container's grant (homogeneous allocation); zero with NodeMemoryMB
+	// set sizes containers to their models (fine-grained, §6).
+	NodeMemoryMB      int
+	ContainerMemoryMB int
+	// TransformFailureRate injects faults: the given fraction of
+	// transformations fail halfway and recover by loading the destination
+	// model from scratch in the same container. Exercises the robustness of
+	// the recovery path; zero (default) disables injection.
+	TransformFailureRate float64
+}
+
+// memoryMode derives the allocation mode from the config.
+func (c Config) memoryMode() MemoryMode {
+	switch {
+	case c.NodeMemoryMB <= 0:
+		return MemorySlots
+	case c.ContainerMemoryMB > 0:
+		return MemoryHomogeneous
+	default:
+		return MemoryFineGrained
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.ContainersPerNode <= 0 {
+		c.ContainersPerNode = 8
+	}
+	if c.KeepAlive <= 0 {
+		c.KeepAlive = 10 * time.Minute
+	}
+	if c.IdleThreshold <= 0 {
+		c.IdleThreshold = 60 * time.Second
+	}
+	if c.Profile == nil {
+		c.Profile = cost.CPU()
+	}
+	return c
+}
+
+// Simulator runs request traces against a simulated cluster.
+type Simulator struct {
+	cfg   Config
+	env   *Env
+	nodes []*Node
+	fns   map[string]*Function
+
+	clock  time.Duration
+	events eventHeap
+	seq    int
+
+	collector metrics.Collector
+	// TransformsVerified counts plans executed through the meta-operator
+	// engine when VerifyTransforms is on.
+	TransformsVerified int
+
+	lastArrival map[string]time.Duration
+	meanGap     map[string]time.Duration
+
+	est    *cost.Estimator
+	faults *rand.Rand
+	// TransformsFailed counts injected transformation failures.
+	TransformsFailed int
+}
+
+// New builds a simulator over the given functions.
+func New(cfg Config, fns []*Function) *Simulator {
+	cfg = cfg.withDefaults()
+	est := cost.NewEstimator(cfg.Profile, cfg.EstimatorErr, cfg.Seed)
+	if cfg.OnlineProfiling > 0 {
+		est.EnableOnlineProfiling(cfg.OnlineProfiling)
+	}
+	s := &Simulator{
+		cfg: cfg,
+		est: est,
+		env: &Env{
+			Profile:           cfg.Profile,
+			Planner:           planner.New(est, cfg.PlannerAlgo),
+			Plans:             planner.NewCache(),
+			IdleThreshold:     cfg.IdleThreshold,
+			KeepAlive:         cfg.KeepAlive,
+			MemoryMode:        cfg.memoryMode(),
+			ContainerMemoryMB: cfg.ContainerMemoryMB,
+		},
+		fns: make(map[string]*Function, len(fns)),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		s.nodes = append(s.nodes, &Node{ID: i, Capacity: cfg.ContainersPerNode, MemoryMB: cfg.NodeMemoryMB})
+	}
+	for _, f := range fns {
+		s.fns[f.Name] = f
+	}
+	s.lastArrival = make(map[string]time.Duration)
+	s.meanGap = make(map[string]time.Duration)
+	if cfg.TransformFailureRate > 0 {
+		s.faults = rand.New(rand.NewSource(cfg.Seed ^ 0x5f3759df))
+	}
+	s.env.MeanInterArrival = func(fn string) (time.Duration, bool) {
+		g, ok := s.meanGap[fn]
+		return g, ok
+	}
+	return s
+}
+
+// observeArrival updates the per-function inter-arrival EWMA used by the
+// repurposing eligibility test.
+func (s *Simulator) observeArrival(fn *Function, at time.Duration) {
+	if last, ok := s.lastArrival[fn.Name]; ok {
+		gap := at - last
+		if prev, ok := s.meanGap[fn.Name]; ok {
+			s.meanGap[fn.Name] = (prev*4 + gap) / 5
+		} else {
+			s.meanGap[fn.Name] = gap
+		}
+	}
+	s.lastArrival[fn.Name] = at
+}
+
+// Env exposes the simulator's policy environment (plan cache, planner).
+func (s *Simulator) Env() *Env { return s.env }
+
+// Collector returns the accumulated request metrics.
+func (s *Simulator) Collector() *metrics.Collector { return &s.collector }
+
+// Run replays the trace to completion and returns the collected metrics.
+// Unknown function names in the trace are an error.
+func (s *Simulator) Run(trace *workload.Trace) (*metrics.Collector, error) {
+	for _, r := range trace.Requests {
+		fn, ok := s.fns[r.Function]
+		if !ok {
+			return nil, fmt.Errorf("simulate: trace references unknown function %q", r.Function)
+		}
+		req := r
+		s.schedule(req.At, func() { s.arrive(fn, req.At) })
+	}
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(event)
+		s.clock = ev.at
+		ev.fn()
+	}
+	return &s.collector, nil
+}
+
+type event struct {
+	at  time.Duration
+	seq int
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (s *Simulator) schedule(at time.Duration, fn func()) {
+	heap.Push(&s.events, event{at: at, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// arrive routes a new request to a node and tries to serve it.
+func (s *Simulator) arrive(fn *Function, arrival time.Duration) {
+	s.observeArrival(fn, arrival)
+	node := s.route(fn)
+	s.serveOrQueue(node, fn, arrival)
+}
+
+// route picks the best candidate node for fn: a warm idle container wins,
+// then a repurposable idle container, then free capacity, finally the
+// shortest queue. Among otherwise-equal nodes the function's hash-derived
+// "home" node within its candidate set wins, so a function placed on a
+// multi-node cluster keeps warm-container locality instead of fragmenting
+// containers across the cluster.
+func (s *Simulator) route(fn *Function) *Node {
+	cands := s.candidates(fn)
+	now := s.clock
+	home := cands[int(hash32(fn.Name))%len(cands)]
+	best := cands[0]
+	bestScore := -1 << 30
+	for _, n := range cands {
+		score := 0
+		switch {
+		case n.WarmIdle(fn, now) != nil:
+			score = 3_000_000
+		case len(n.IdleOthers(fn, now, s.env.IdleThreshold)) > 0:
+			score = 2_000_000
+		case n.CanPlace(now):
+			score = 1_000_000
+		}
+		if n == home {
+			score += 500_000
+		}
+		score -= len(n.queue)*10 + s.busyCount(n, now)
+		if score > bestScore {
+			bestScore = score
+			best = n
+		}
+	}
+	return best
+}
+
+func (s *Simulator) busyCount(n *Node, now time.Duration) int {
+	c := 0
+	for _, ct := range n.Containers {
+		if ct.Busy(now) {
+			c++
+		}
+	}
+	return c
+}
+
+func (s *Simulator) candidates(fn *Function) []*Node {
+	if ids, ok := s.cfg.Placement[fn.Name]; ok && len(ids) > 0 {
+		out := make([]*Node, 0, len(ids))
+		for _, id := range ids {
+			if id >= 0 && id < len(s.nodes) {
+				out = append(out, s.nodes[id])
+			}
+		}
+		if len(out) > 0 {
+			return out
+		}
+	}
+	return s.nodes
+}
+
+func (s *Simulator) serveOrQueue(node *Node, fn *Function, arrival time.Duration) {
+	if !s.serve(node, fn, arrival) {
+		node.queue = append(node.queue, queued{fn: fn, arrival: arrival})
+	}
+}
+
+// serve asks the policy for a decision and, if possible, executes it:
+// charging latencies, occupying the container, and scheduling completion.
+func (s *Simulator) serve(node *Node, fn *Function, arrival time.Duration) bool {
+	now := s.clock
+	node.EvictExpired(now, s.env.KeepAlive)
+	d, ok := s.cfg.Policy.Serve(s.env, node, fn, now)
+	if !ok {
+		return false
+	}
+	if s.cfg.VerifyTransforms && d.Plan != nil && d.Reuse != nil {
+		if err := metaop.Verify(s.env.Profile, d.Plan, d.Reuse.Fn.Model, fn.Model); err != nil {
+			panic(fmt.Sprintf("simulate: transformation verification failed: %v", err))
+		}
+		s.TransformsVerified++
+	}
+	if s.cfg.OnlineProfiling > 0 && d.Plan != nil && d.Reuse != nil && !d.Plan.LoadFromScratch {
+		s.observeExecution(d.Plan, d.Reuse.Fn.Model)
+	}
+	if s.faults != nil && d.Kind == metrics.StartTransform && d.Reuse != nil &&
+		s.faults.Float64() < s.cfg.TransformFailureRate {
+		// Injected fault: the transformation aborts halfway through and the
+		// container recovers by discarding the partial state and loading the
+		// destination model from scratch (the safeguard's recovery path).
+		d.Load = d.Load/2 + s.env.Profile.ModelLoad(fn.Model).Total()
+		d.Kind = metrics.StartCold
+		s.TransformsFailed++
+	}
+
+	c := d.Reuse
+	if c == nil {
+		c = node.newContainer(fn, s.env.GrantFor(fn), now)
+	} else if s.env.MemoryMode == MemoryFineGrained {
+		// Fine-grained allocation resizes the repurposed container to the
+		// new model, releasing the surplus the homogeneous mode would waste.
+		c.MemMB = s.env.GrantFor(fn)
+	}
+	c.Fn = fn
+	compute := s.env.Profile.Compute(fn.Model)
+	end := now + d.Init + d.Load + compute
+	c.BusyUntil = end
+	s.collector.Add(metrics.Record{
+		Function: fn.Name,
+		Kind:     d.Kind,
+		Arrival:  arrival,
+		Start:    now,
+		End:      end,
+		Wait:     now - arrival,
+		Init:     d.Init,
+		Load:     d.Load,
+		Compute:  compute,
+	})
+	s.schedule(end, func() { s.complete(node, c) })
+	return true
+}
+
+// complete frees a container and drains the node's queue.
+func (s *Simulator) complete(node *Node, c *Container) {
+	c.LastDone = s.clock
+	for len(node.queue) > 0 {
+		q := node.queue[0]
+		if !s.serve(node, q.fn, q.arrival) {
+			return
+		}
+		node.queue = node.queue[1:]
+	}
+}
+
+// observeExecution feeds each executed meta-operator's (estimate, actual)
+// pair back into the estimator — the §6 online-profiling loop. The estimate
+// is recomputed from the estimator's *current* state: cached plans carry
+// stale step estimates, and learning against those would never converge.
+func (s *Simulator) observeExecution(plan *metaop.Plan, src *model.Graph) {
+	for _, st := range plan.Steps {
+		typ, ok := st.TargetType(src)
+		if !ok {
+			continue
+		}
+		var predicted time.Duration
+		switch st.Kind {
+		case metaop.KindReplace:
+			predicted = s.est.ReplaceCost(&st.Dst)
+		case metaop.KindReshape:
+			srcOp := src.Op(st.SrcID)
+			if srcOp == nil {
+				continue
+			}
+			predicted = s.est.ReshapeCost(srcOp, &st.Dst)
+		case metaop.KindReduce:
+			srcOp := src.Op(st.SrcID)
+			if srcOp == nil {
+				continue
+			}
+			predicted = s.est.ReduceCost(srcOp)
+		case metaop.KindAdd:
+			predicted = s.est.AddCost(&st.Dst)
+		default:
+			continue
+		}
+		actual := metaop.StepTrueCost(s.env.Profile, src, st)
+		s.est.Observe(typ, predicted, actual)
+	}
+}
+
+// Estimator exposes the planner's (possibly learning) cost estimator.
+func (s *Simulator) Estimator() *cost.Estimator { return s.est }
+
+// Nodes exposes the simulated nodes (for tests and reporting).
+func (s *Simulator) Nodes() []*Node { return s.nodes }
+
+// HashPlacement spreads fns across n nodes by name hash — the baseline
+// placement of traditional serverless platforms (§5.1).
+func HashPlacement(fns []string, n int) map[string][]int {
+	out := make(map[string][]int, len(fns))
+	for _, f := range fns {
+		out[f] = []int{int(hash32(f) % uint32(n))}
+	}
+	return out
+}
+
+// SpreadPlacement assigns functions round-robin over nodes in sorted-name
+// order, a least-loaded-style static baseline.
+func SpreadPlacement(fns []string, n int) map[string][]int {
+	sorted := append([]string(nil), fns...)
+	sort.Strings(sorted)
+	out := make(map[string][]int, len(fns))
+	for i, f := range sorted {
+		out[f] = []int{i % n}
+	}
+	return out
+}
+
+func hash32(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,139 @@
+package simulate
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Online serves invocations one at a time against live cluster state, for
+// interactive use (the REST gateway) as opposed to trace replay. Callers
+// supply a monotonically non-decreasing `now`; Online never sleeps — if no
+// container is free the request's wait time is computed from the earliest
+// completion.
+//
+// Online is safe for concurrent use.
+type Online struct {
+	mu  sync.Mutex
+	sim *Simulator
+}
+
+// NewOnline builds an online server over the given functions.
+func NewOnline(cfg Config, fns []*Function) *Online {
+	return &Online{sim: New(cfg, fns)}
+}
+
+// AddFunction registers a new function at runtime. Registering a name twice
+// replaces the model (a redeploy).
+func (o *Online) AddFunction(f *Function) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.sim.fns[f.Name] = f
+}
+
+// RemoveFunction unregisters a function; its containers are left to expire
+// through keep-alive.
+func (o *Online) RemoveFunction(name string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.sim.fns, name)
+}
+
+// Snapshot returns a copy of the cluster's node/container state at `now`
+// (containers are shared pointers; callers must treat them as read-only).
+func (o *Online) Snapshot(now time.Duration) []*Node {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]*Node, len(o.sim.nodes))
+	copy(out, o.sim.nodes)
+	return out
+}
+
+// Functions returns the registered function names.
+func (o *Online) Functions() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]string, 0, len(o.sim.fns))
+	for n := range o.sim.fns {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Function returns a registered function by name.
+func (o *Online) Function(name string) (*Function, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	f, ok := o.sim.fns[name]
+	return f, ok
+}
+
+// Env exposes the policy environment (planner, plan cache).
+func (o *Online) Env() *Env { return o.sim.env }
+
+// Collector returns the accumulated request metrics.
+func (o *Online) Collector() *metrics.Collector { return o.sim.Collector() }
+
+// Invoke serves one request for the named function arriving at `now`
+// (an offset from server start) and returns its record. If every container
+// is busy, the request waits for the earliest completion on its routed node.
+func (o *Online) Invoke(name string, now time.Duration) (metrics.Record, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s := o.sim
+	fn, ok := s.fns[name]
+	if !ok {
+		return metrics.Record{}, fmt.Errorf("simulate: unknown function %q", name)
+	}
+	if now < s.clock {
+		now = s.clock // clock is monotone
+	}
+	s.clock = now
+	s.observeArrival(fn, now)
+	node := s.route(fn)
+
+	start := now
+	for {
+		node.EvictExpired(start, s.env.KeepAlive)
+		d, ok := s.cfg.Policy.Serve(s.env, node, fn, start)
+		if ok {
+			c := d.Reuse
+			if c == nil {
+				c = node.newContainer(fn, s.env.GrantFor(fn), start)
+			} else if s.env.MemoryMode == MemoryFineGrained {
+				c.MemMB = s.env.GrantFor(fn)
+			}
+			c.Fn = fn
+			compute := s.env.Profile.Compute(fn.Model)
+			end := start + d.Init + d.Load + compute
+			c.BusyUntil = end
+			c.LastDone = end
+			rec := metrics.Record{
+				Function: fn.Name,
+				Kind:     d.Kind,
+				Arrival:  now,
+				Start:    start,
+				End:      end,
+				Wait:     start - now,
+				Init:     d.Init,
+				Load:     d.Load,
+				Compute:  compute,
+			}
+			s.collector.Add(rec)
+			return rec, nil
+		}
+		// Everything busy: jump to the node's earliest completion.
+		next := time.Duration(-1)
+		for _, c := range node.Containers {
+			if c.BusyUntil > start && (next < 0 || c.BusyUntil < next) {
+				next = c.BusyUntil
+			}
+		}
+		if next < 0 {
+			return metrics.Record{}, fmt.Errorf("simulate: node %d cannot serve %q", node.ID, name)
+		}
+		start = next
+	}
+}

@@ -1,0 +1,99 @@
+package simulate_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/simulate"
+)
+
+func newOnline(t *testing.T, slots int, names ...string) *simulate.Online {
+	t.Helper()
+	return simulate.NewOnline(simulate.Config{
+		Policy:            policy.Optimus{},
+		Nodes:             1,
+		ContainersPerNode: slots,
+	}, testFunctions(t, names...))
+}
+
+func TestOnlineLifecycle(t *testing.T) {
+	o := newOnline(t, 2, "resnet18-imagenet", "resnet34-imagenet")
+
+	rec, err := o.Invoke("resnet18-imagenet", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != metrics.StartCold {
+		t.Errorf("first invoke = %v", rec.Kind)
+	}
+	// Well after completion: warm.
+	rec2, err := o.Invoke("resnet18-imagenet", rec.End+time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Kind != metrics.StartWarm {
+		t.Errorf("second invoke = %v", rec2.Kind)
+	}
+	if o.Collector().Len() != 2 {
+		t.Errorf("collector has %d records", o.Collector().Len())
+	}
+}
+
+func TestOnlineWaitsWhenBusy(t *testing.T) {
+	o := newOnline(t, 1, "resnet18-imagenet")
+	rec, err := o.Invoke("resnet18-imagenet", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second request arrives while the only container is busy: it must wait
+	// until the first completes.
+	rec2, err := o.Invoke("resnet18-imagenet", rec.End/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Wait == 0 {
+		t.Error("second invoke should have waited")
+	}
+	if rec2.Start != rec.End {
+		t.Errorf("second invoke started at %v, want %v", rec2.Start, rec.End)
+	}
+}
+
+func TestOnlineClockMonotone(t *testing.T) {
+	o := newOnline(t, 2, "resnet18-imagenet")
+	if _, err := o.Invoke("resnet18-imagenet", time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// A stale timestamp is clamped forward, never backwards.
+	rec, err := o.Invoke("resnet18-imagenet", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Arrival < time.Hour {
+		t.Errorf("clock went backwards: %v", rec.Arrival)
+	}
+}
+
+func TestOnlineAddRemoveFunction(t *testing.T) {
+	o := newOnline(t, 2, "resnet18-imagenet")
+	if _, err := o.Invoke("vgg16-imagenet", 0); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+	fns := testFunctions(t, "vgg16-imagenet")
+	o.AddFunction(fns[0])
+	if _, err := o.Invoke("vgg16-imagenet", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := o.Function("vgg16-imagenet"); !ok || got != fns[0] {
+		t.Error("Function lookup failed")
+	}
+	if len(o.Functions()) != 2 {
+		t.Errorf("Functions = %v", o.Functions())
+	}
+	o.RemoveFunction("vgg16-imagenet")
+	if _, err := o.Invoke("vgg16-imagenet", time.Minute); err == nil {
+		t.Fatal("removed function still invocable")
+	}
+}

@@ -1,0 +1,37 @@
+package zoo
+
+import "testing"
+
+func BenchmarkBuildVGG16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if VGG(16, false, 1000, "bench").NumOps() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkBuildResNet50(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if ResNet(ResNetConfig{Depth: 50}, 1000, "bench").NumOps() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkBuildBERTBase(b *testing.B) {
+	cfg := BERTConfig{Name: "bench", Blocks: 12, Hidden: 768, Heads: 12, Vocab: 30522}
+	for i := 0; i < b.N; i++ {
+		if BERT(cfg).NumOps() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkImgclsmobFullBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := Imgclsmob()
+		for _, n := range r.Names() {
+			r.MustGet(n)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// BERTConfig describes a BERT variant (§5.2): an embedding block followed by
+// identically shaped attention blocks, optionally topped by a downstream-task
+// head. Downstream-task variants share the pre-trained base weights (same
+// WeightsID scope), so transforming between them only needs head changes and
+// is the cheapest transformer transformation (§5.2 Example 2).
+type BERTConfig struct {
+	Name   string
+	Blocks int // number of attention blocks (L)
+	Hidden int // hidden width (H)
+	Heads  int // attention heads (A); affects naming only, widths carry H
+	Vocab  int // token vocabulary size
+	// Task selects the downstream head: "" (plain encoder), "sc" (sequence
+	// classification), "tc" (token classification with a CRF), "qa"
+	// (question answering), "nsp" (next sentence prediction), "mc"
+	// (multiple choice).
+	Task string
+	// BaseScope is the weight scope of the pre-trained encoder. Variants
+	// with equal BaseScope share encoder weights; head weights always live
+	// in a task-specific scope.
+	BaseScope string
+}
+
+const bertMaxPos = 512
+
+// BERT builds the transformer encoder described by cfg.
+func BERT(cfg BERTConfig) *model.Graph {
+	base := cfg.BaseScope
+	if base == "" {
+		base = cfg.Name
+	}
+	b := model.NewBuilder(cfg.Name, "bert", base)
+	h := cfg.Hidden
+	b.Add(model.Operation{Name: "input", Type: model.OpInput, Shape: model.Shape{OutChannels: h}})
+
+	// Embedding block: token + position + segment embeddings, summed and
+	// normalized.
+	tok := b.Add(model.Operation{Name: "emb.token", Type: model.OpEmbedding,
+		Shape: model.Shape{InChannels: cfg.Vocab, OutChannels: h}})
+	b.SetTail(0)
+	pos := b.Add(model.Operation{Name: "emb.pos", Type: model.OpEmbedding,
+		Shape: model.Shape{InChannels: bertMaxPos, OutChannels: h}})
+	b.SetTail(0)
+	seg := b.Add(model.Operation{Name: "emb.seg", Type: model.OpEmbedding,
+		Shape: model.Shape{InChannels: 2, OutChannels: h}})
+	b.AddFrom(model.Operation{Name: "emb.add", Type: model.OpAdd, Shape: model.Shape{OutChannels: h}}, tok, pos, seg)
+	b.Add(model.Operation{Name: "emb.ln", Type: model.OpLayerNorm, Shape: model.Shape{OutChannels: h}})
+	b.Add(model.Operation{Name: "emb.drop", Type: model.OpDropout, Shape: model.Shape{OutChannels: h}})
+
+	for blk := 0; blk < cfg.Blocks; blk++ {
+		tag := fmt.Sprintf("blk%d", blk)
+		entry := b.Tail()[0]
+		// Attention layer: Q/K/V/O with weights, Logit/Attend without.
+		q := b.AddFrom(model.Operation{Name: tag + ".query", Type: model.OpQuery,
+			Shape: model.Shape{InChannels: h, OutChannels: h}}, entry)
+		k := b.AddFrom(model.Operation{Name: tag + ".key", Type: model.OpKey,
+			Shape: model.Shape{InChannels: h, OutChannels: h}}, entry)
+		v := b.AddFrom(model.Operation{Name: tag + ".value", Type: model.OpValue,
+			Shape: model.Shape{InChannels: h, OutChannels: h}}, entry)
+		logit := b.AddFrom(model.Operation{Name: tag + ".logit", Type: model.OpLogit,
+			Shape: model.Shape{OutChannels: h}}, q, k)
+		att := b.AddFrom(model.Operation{Name: tag + ".attend", Type: model.OpAttend,
+			Shape: model.Shape{OutChannels: h}}, logit, v)
+		b.AddFrom(model.Operation{Name: tag + ".output", Type: model.OpAttnOutput,
+			Shape: model.Shape{InChannels: h, OutChannels: h}}, att)
+		b.AddMerge(tag+".add1", h, b.Tail()[0], entry)
+		ln1 := b.Add(model.Operation{Name: tag + ".ln1", Type: model.OpLayerNorm, Shape: model.Shape{OutChannels: h}})
+		// Feed-forward: two fully connected layers with GELU.
+		b.Dense(tag+".fc1", h, 4*h)
+		b.Add(model.Operation{Name: tag + ".gelu", Type: model.OpGELU, Shape: model.Shape{OutChannels: 4 * h}})
+		b.Dense(tag+".fc2", 4*h, h)
+		b.AddMerge(tag+".add2", h, b.Tail()[0], ln1)
+		b.Add(model.Operation{Name: tag + ".ln2", Type: model.OpLayerNorm, Shape: model.Shape{OutChannels: h}})
+	}
+
+	headScope := cfg.Name + "/head"
+	headOp := func(name string, t model.OpType, in, out int) {
+		b.Add(model.Operation{Name: name, Type: t,
+			Shape:     model.Shape{InChannels: in, OutChannels: out},
+			WeightsID: model.WeightsIDFor(headScope, name)})
+	}
+	pooler := func() {
+		headOp("pooler.dense", model.OpDense, h, h)
+		b.Add(model.Operation{Name: "pooler.tanh", Type: model.OpTanh, Shape: model.Shape{OutChannels: h}})
+	}
+	switch cfg.Task {
+	case "":
+		// Plain encoder: nothing on top.
+	case "sc":
+		pooler()
+		b.Add(model.Operation{Name: "head.drop", Type: model.OpDropout, Shape: model.Shape{OutChannels: h}})
+		headOp("head.classifier", model.OpDense, h, 2)
+		b.Add(model.Operation{Name: "head.softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: 2}})
+	case "tc":
+		b.Add(model.Operation{Name: "head.drop", Type: model.OpDropout, Shape: model.Shape{OutChannels: h}})
+		headOp("head.classifier", model.OpDense, h, 9)
+		headOp("head.crf", model.OpCRF, 9, 9)
+	case "qa":
+		headOp("head.span", model.OpDense, h, 2)
+		b.Add(model.Operation{Name: "head.softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: 2}})
+	case "nsp":
+		pooler()
+		headOp("head.classifier", model.OpDense, h, 2)
+		b.Add(model.Operation{Name: "head.softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: 2}})
+	case "mc":
+		pooler()
+		b.Add(model.Operation{Name: "head.drop", Type: model.OpDropout, Shape: model.Shape{OutChannels: h}})
+		headOp("head.classifier", model.OpDense, h, 1)
+		b.Add(model.Operation{Name: "head.softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: 1}})
+	default:
+		panic(fmt.Sprintf("zoo: unknown BERT task %q", cfg.Task))
+	}
+	b.Add(model.Operation{Name: "output", Type: model.OpOutput, Shape: model.Shape{OutChannels: h}})
+	return b.Graph()
+}
+
+// bertVariants lists the 10 variants of §8.1: three sizes, two input
+// casings, and five downstream tasks built on BERT-Base-Uncased.
+var bertVariants = []BERTConfig{
+	{Name: "bert-tiny", Blocks: 2, Hidden: 128, Heads: 2, Vocab: 30522},
+	{Name: "bert-mini", Blocks: 4, Hidden: 256, Heads: 4, Vocab: 30522},
+	{Name: "bert-small", Blocks: 4, Hidden: 512, Heads: 8, Vocab: 30522},
+	{Name: "bert-base-cased", Blocks: 12, Hidden: 768, Heads: 12, Vocab: 28996},
+	{Name: "bert-base-uncased", Blocks: 12, Hidden: 768, Heads: 12, Vocab: 30522},
+	{Name: "bert-base-sc", Blocks: 12, Hidden: 768, Heads: 12, Vocab: 30522, Task: "sc", BaseScope: "bert-base-uncased"},
+	{Name: "bert-base-tc", Blocks: 12, Hidden: 768, Heads: 12, Vocab: 30522, Task: "tc", BaseScope: "bert-base-uncased"},
+	{Name: "bert-base-qa", Blocks: 12, Hidden: 768, Heads: 12, Vocab: 30522, Task: "qa", BaseScope: "bert-base-uncased"},
+	{Name: "bert-base-nsp", Blocks: 12, Hidden: 768, Heads: 12, Vocab: 30522, Task: "nsp", BaseScope: "bert-base-uncased"},
+	{Name: "bert-base-mc", Blocks: 12, Hidden: 768, Heads: 12, Vocab: 30522, Task: "mc", BaseScope: "bert-base-uncased"},
+}
+
+// BERTNames returns the names of the 10 BERT variants in catalog order.
+func BERTNames() []string {
+	names := make([]string, len(bertVariants))
+	for i, v := range bertVariants {
+		names[i] = v.Name
+	}
+	return names
+}
+
+// BERTZoo returns the registry of the 10 BERT variants.
+func BERTZoo() *Registry {
+	r := NewRegistry()
+	for _, v := range bertVariants {
+		v := v
+		r.Register(v.Name, func() *model.Graph { return BERT(v) })
+	}
+	return r
+}

@@ -1,0 +1,54 @@
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// DenseNet builds a densely connected CNN (Huang et al.): four dense blocks
+// whose layers each concatenate all previous feature maps, separated by
+// 1×1-conv + 2×2-avg-pool transitions that halve the channel count.
+// blocks gives the layer count per dense block; growth is the growth rate k.
+func DenseNet(blocks [4]int, growth, classes int, scope string) *model.Graph {
+	b := model.NewBuilder("densenet", "densenet", scope)
+	b.Input(3)
+	init := 2 * growth
+	b.Conv("stem.conv", 7, 3, init, 2)
+	b.BN("stem.bn", init)
+	b.ReLU("stem.relu", init)
+	b.MaxPool("stem.pool", 3, init, 2)
+
+	ch := init
+	for stage, n := range blocks {
+		for layer := 0; layer < n; layer++ {
+			tag := fmt.Sprintf("db%d.l%d", stage+1, layer+1)
+			entry := b.Tail()[0]
+			// Bottleneck layer: BN-ReLU-1×1conv(4k) → BN-ReLU-3×3conv(k).
+			b.BN(tag+".bn1", ch)
+			b.ReLU(tag+".relu1", ch)
+			b.Conv(tag+".conv1", 1, ch, 4*growth, 1)
+			b.BN(tag+".bn2", 4*growth)
+			b.ReLU(tag+".relu2", 4*growth)
+			b.Conv(tag+".conv2", 3, 4*growth, growth, 1)
+			newFeat := b.Tail()[0]
+			b.ConcatMerge(tag+".concat", ch+growth, entry, newFeat)
+			ch += growth
+		}
+		if stage < 3 {
+			tag := fmt.Sprintf("trans%d", stage+1)
+			b.BN(tag+".bn", ch)
+			b.ReLU(tag+".relu", ch)
+			b.Conv(tag+".conv", 1, ch, ch/2, 1)
+			b.AvgPool(tag+".pool", 2, ch/2, 2)
+			ch /= 2
+		}
+	}
+	b.BN("final.bn", ch)
+	b.ReLU("final.relu", ch)
+	b.GlobalAvgPool("gap", ch)
+	b.Dense("fc", ch, classes)
+	b.Add(model.Operation{Name: "softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: classes}})
+	b.Output(classes)
+	return b.Graph()
+}

@@ -1,0 +1,359 @@
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// ShuffleNet builds a ShuffleNet v1 or v2 variant. The grouped 1×1
+// convolutions and channel shuffles are modelled as pointwise convolutions
+// plus identity (shuffle) operations — shuffle moves no weights and costs
+// like an identity in every framework.
+func ShuffleNet(version int, width float64, classes int, scope string) *model.Graph {
+	b := model.NewBuilder(fmt.Sprintf("shufflenetv%d", version), fmt.Sprintf("shufflenetv%d", version), scope)
+	b.Input(3)
+	c := scaleWidth(24, width)
+	b.Conv("stem.conv", 3, 3, c, 2)
+	b.BN("stem.bn", c)
+	b.ReLU("stem.relu", c)
+	b.MaxPool("stem.pool", 3, c, 2)
+
+	plan := []struct{ out, n int }{{116, 4}, {232, 8}, {464, 4}}
+	if version == 1 {
+		plan = []struct{ out, n int }{{144, 4}, {288, 8}, {576, 4}}
+	}
+	in := c
+	for si, st := range plan {
+		out := scaleWidth(st.out, width)
+		for r := 0; r < st.n; r++ {
+			stride := 1
+			if r == 0 {
+				stride = 2
+			}
+			tag := fmt.Sprintf("s%d.b%d", si+1, r+1)
+			entry := b.Tail()[0]
+			half := out / 2
+			b.Conv(tag+".pw1", 1, in, half, 1)
+			b.BN(tag+".bn1", half)
+			b.ReLU(tag+".relu1", half)
+			b.Add(model.Operation{Name: tag + ".dwconv", Type: model.OpDepthwiseConv2D,
+				Shape: model.Shape{KernelH: 3, KernelW: 3, InChannels: half, OutChannels: half, Stride: stride}})
+			b.BN(tag+".bn2", half)
+			b.Conv(tag+".pw2", 1, half, out, 1)
+			b.BN(tag+".bn3", out)
+			body := b.Tail()[0]
+			if stride == 1 && in == out {
+				if version == 1 {
+					b.AddMerge(tag+".add", out, body, entry)
+				} else {
+					b.ConcatMerge(tag+".concat", out, body, entry)
+				}
+				b.Add(model.Operation{Name: tag + ".shuffle", Type: model.OpIdentity, Shape: model.Shape{OutChannels: out}})
+			} else {
+				b.ReLU(tag+".relu_out", out)
+			}
+			in = out
+		}
+	}
+	b.GlobalAvgPool("gap", in)
+	b.Dense("fc", in, classes)
+	b.Add(model.Operation{Name: "softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: classes}})
+	b.Output(classes)
+	return b.Graph()
+}
+
+// SqueezeNet builds SqueezeNet v1.0/v1.1 (Iandola et al.): fire modules with
+// 1×1 squeeze and mixed 1×1/3×3 expand convolutions. residual=true yields
+// the SqueezeResNet variants with bypass connections.
+func SqueezeNet(version string, residual bool, classes int, scope string) *model.Graph {
+	b := model.NewBuilder("squeezenet-"+version, "squeezenet", scope)
+	b.Input(3)
+	stemOut := 96
+	stemK := 7
+	if version == "v1.1" {
+		stemOut, stemK = 64, 3
+	}
+	b.Conv("stem.conv", stemK, 3, stemOut, 2)
+	b.ReLU("stem.relu", stemOut)
+	b.MaxPool("stem.pool", 3, stemOut, 2)
+
+	type fire struct{ squeeze, expand int }
+	fires := []fire{{16, 64}, {16, 64}, {32, 128}, {32, 128}, {48, 192}, {48, 192}, {64, 256}, {64, 256}}
+	poolAfter := map[int]bool{3: true, 7: true}
+	if version == "v1.1" {
+		poolAfter = map[int]bool{2: true, 4: true}
+	}
+	in := stemOut
+	for i, f := range fires {
+		tag := fmt.Sprintf("fire%d", i+2)
+		entry := b.Tail()[0]
+		b.Conv(tag+".squeeze", 1, in, f.squeeze, 1)
+		b.ReLU(tag+".srelu", f.squeeze)
+		sq := b.Tail()[0]
+		e1 := b.Conv(tag+".expand1", 1, f.squeeze, f.expand, 1)
+		b.SetTail(sq)
+		e3 := b.Conv(tag+".expand3", 3, f.squeeze, f.expand, 1)
+		out := 2 * f.expand
+		b.ConcatMerge(tag+".concat", out, e1, e3)
+		b.ReLU(tag+".erelu", out)
+		if residual && in == out {
+			b.AddMerge(tag+".bypass", out, b.Tail()[0], entry)
+		}
+		if poolAfter[i+1] {
+			b.MaxPool(tag+".pool", 3, out, 2)
+		}
+		in = out
+	}
+	b.Add(model.Operation{Name: "drop", Type: model.OpDropout, Shape: model.Shape{OutChannels: in}})
+	b.Conv("head.conv", 1, in, classes, 1)
+	b.ReLU("head.relu", classes)
+	b.GlobalAvgPool("gap", classes)
+	b.Add(model.Operation{Name: "softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: classes}})
+	b.Output(classes)
+	return b.Graph()
+}
+
+// AlexNet builds AlexNet (Krizhevsky et al.); the "b" variant uses the
+// slightly different 11/5/3 kernel plan of Imgclsmob's alexnetb.
+func AlexNet(variantB bool, classes int, scope string) *model.Graph {
+	name := "alexnet"
+	if variantB {
+		name = "alexnetb"
+	}
+	b := model.NewBuilder(name, "alexnet", scope)
+	b.Input(3)
+	type cv struct {
+		k, out, stride int
+		pool           bool
+	}
+	plan := []cv{
+		{11, 96, 4, true}, {5, 256, 1, true}, {3, 384, 1, false}, {3, 384, 1, false}, {3, 256, 1, true},
+	}
+	if variantB {
+		plan = []cv{
+			{11, 64, 4, true}, {5, 192, 1, true}, {3, 384, 1, false}, {3, 256, 1, false}, {3, 256, 1, true},
+		}
+	}
+	in := 3
+	for i, p := range plan {
+		tag := fmt.Sprintf("conv%d", i+1)
+		b.Conv(tag, p.k, in, p.out, p.stride)
+		b.ReLU(tag+".relu", p.out)
+		if p.pool {
+			b.MaxPool(tag+".pool", 3, p.out, 2)
+		}
+		in = p.out
+	}
+	flat := in * 36 // 6×6 feature map
+	b.Add(model.Operation{Name: "flatten", Type: model.OpFlatten, Shape: model.Shape{InChannels: in, OutChannels: flat}})
+	b.Dense("fc1", flat, 4096)
+	b.ReLU("fc1.relu", 4096)
+	b.Add(model.Operation{Name: "drop1", Type: model.OpDropout, Shape: model.Shape{OutChannels: 4096}})
+	b.Dense("fc2", 4096, 4096)
+	b.ReLU("fc2.relu", 4096)
+	b.Add(model.Operation{Name: "drop2", Type: model.OpDropout, Shape: model.Shape{OutChannels: 4096}})
+	b.Dense("fc3", 4096, classes)
+	b.Add(model.Operation{Name: "softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: classes}})
+	b.Output(classes)
+	return b.Graph()
+}
+
+// DarkNet builds the DarkNet backbones used by the YOLO detectors:
+// "ref" and "tiny" are the small reference nets, "19" and "53" the deeper
+// classification backbones (Redmon et al.).
+func DarkNet(version string, classes int, scope string) *model.Graph {
+	b := model.NewBuilder("darknet-"+version, "darknet", scope)
+	b.Input(3)
+	convBNLeaky := func(tag string, k, in, out, stride int) int {
+		b.Conv(tag+".conv", k, in, out, stride)
+		b.BN(tag+".bn", out)
+		b.ReLU(tag+".lrelu", out)
+		return out
+	}
+	in := 3
+	switch version {
+	case "ref", "tiny":
+		widths := []int{16, 32, 64, 128, 256, 512}
+		if version == "ref" {
+			widths = []int{16, 32, 64, 128, 256, 512, 1024}
+		}
+		for i, w := range widths {
+			in = convBNLeaky(fmt.Sprintf("c%d", i+1), 3, in, w, 1)
+			if i < 5 {
+				b.MaxPool(fmt.Sprintf("p%d", i+1), 2, w, 2)
+			}
+		}
+	case "19":
+		// Alternating 3×3 / 1×1 stacks.
+		type blk struct{ n, w int }
+		for si, s := range []blk{{1, 32}, {1, 64}, {3, 128}, {3, 256}, {5, 512}, {5, 1024}} {
+			for i := 0; i < s.n; i++ {
+				k, out := 3, s.w
+				if i%2 == 1 {
+					k, out = 1, s.w/2
+				}
+				in = convBNLeaky(fmt.Sprintf("s%d.c%d", si+1, i+1), k, in, out, 1)
+			}
+			if si < 5 {
+				b.MaxPool(fmt.Sprintf("s%d.pool", si+1), 2, in, 2)
+			}
+		}
+	case "53":
+		in = convBNLeaky("stem", 3, in, 32, 1)
+		for si, s := range []struct{ n, w int }{{1, 64}, {2, 128}, {8, 256}, {8, 512}, {4, 1024}} {
+			in = convBNLeaky(fmt.Sprintf("s%d.down", si+1), 3, in, s.w, 2)
+			for i := 0; i < s.n; i++ {
+				tag := fmt.Sprintf("s%d.r%d", si+1, i+1)
+				entry := b.Tail()[0]
+				convBNLeaky(tag+".a", 1, s.w, s.w/2, 1)
+				convBNLeaky(tag+".b", 3, s.w/2, s.w, 1)
+				b.AddMerge(tag+".add", s.w, b.Tail()[0], entry)
+			}
+			in = s.w
+		}
+	default:
+		panic(fmt.Sprintf("zoo: unknown darknet version %q", version))
+	}
+	b.GlobalAvgPool("gap", in)
+	b.Dense("fc", in, classes)
+	b.Add(model.Operation{Name: "softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: classes}})
+	b.Output(classes)
+	return b.Graph()
+}
+
+// Xception builds the depthwise-separable Xception network (Chollet): entry,
+// middle and exit flows of separable-conv residual blocks.
+func Xception(classes int, scope string) *model.Graph {
+	b := model.NewBuilder("xception", "xception", scope)
+	b.Input(3)
+	b.Conv("stem.conv1", 3, 3, 32, 2)
+	b.BN("stem.bn1", 32)
+	b.ReLU("stem.relu1", 32)
+	b.Conv("stem.conv2", 3, 32, 64, 1)
+	b.BN("stem.bn2", 64)
+	b.ReLU("stem.relu2", 64)
+
+	sep := func(tag string, in, out int) int {
+		b.Add(model.Operation{Name: tag + ".dw", Type: model.OpDepthwiseConv2D,
+			Shape: model.Shape{KernelH: 3, KernelW: 3, InChannels: in, OutChannels: in, Stride: 1}})
+		b.Conv(tag+".pw", 1, in, out, 1)
+		b.BN(tag+".bn", out)
+		return out
+	}
+	in := 64
+	// Entry flow.
+	for i, w := range []int{128, 256, 728} {
+		tag := fmt.Sprintf("entry%d", i+1)
+		entry := b.Tail()[0]
+		if i > 0 {
+			b.ReLU(tag+".relu1", in)
+		}
+		sep(tag+".sep1", in, w)
+		b.ReLU(tag+".relu2", w)
+		sep(tag+".sep2", w, w)
+		b.MaxPool(tag+".pool", 3, w, 2)
+		body := b.Tail()[0]
+		b.SetTail(entry)
+		b.Conv(tag+".sc", 1, in, w, 2)
+		b.BN(tag+".scbn", w)
+		b.AddMerge(tag+".add", w, body, b.Tail()[0])
+		in = w
+	}
+	// Middle flow: 8 blocks of 3 separable convs.
+	for i := 0; i < 8; i++ {
+		tag := fmt.Sprintf("mid%d", i+1)
+		entry := b.Tail()[0]
+		for j := 0; j < 3; j++ {
+			b.ReLU(fmt.Sprintf("%s.relu%d", tag, j+1), in)
+			sep(fmt.Sprintf("%s.sep%d", tag, j+1), in, in)
+		}
+		b.AddMerge(tag+".add", in, b.Tail()[0], entry)
+	}
+	// Exit flow.
+	entry := b.Tail()[0]
+	b.ReLU("exit.relu1", in)
+	sep("exit.sep1", in, 728)
+	b.ReLU("exit.relu2", 728)
+	sep("exit.sep2", 728, 1024)
+	b.MaxPool("exit.pool", 3, 1024, 2)
+	body := b.Tail()[0]
+	b.SetTail(entry)
+	b.Conv("exit.sc", 1, in, 1024, 2)
+	b.BN("exit.scbn", 1024)
+	b.AddMerge("exit.add", 1024, body, b.Tail()[0])
+	sep("exit.sep3", 1024, 1536)
+	b.ReLU("exit.relu3", 1536)
+	sep("exit.sep4", 1536, 2048)
+	b.ReLU("exit.relu4", 2048)
+	b.GlobalAvgPool("gap", 2048)
+	b.Dense("fc", 2048, classes)
+	b.Add(model.Operation{Name: "softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: classes}})
+	b.Output(classes)
+	return b.Graph()
+}
+
+// Inception builds Inception-v3 or -v4 (Szegedy et al.): a conv stem
+// followed by inception modules of parallel 1×1 / 3×3 / double-3×3 / pooled
+// towers whose outputs are concatenated. The v4 variant is deeper.
+func Inception(version, classes int, scope string) *model.Graph {
+	b := model.NewBuilder(fmt.Sprintf("inceptionv%d", version), "inception", scope)
+	b.Input(3)
+	convBN := func(tag string, k, in, out, stride int) int {
+		b.Conv(tag+".conv", k, in, out, stride)
+		b.BN(tag+".bn", out)
+		b.ReLU(tag+".relu", out)
+		return out
+	}
+	in := convBN("stem1", 3, 3, 32, 2)
+	in = convBN("stem2", 3, in, 32, 1)
+	in = convBN("stem3", 3, in, 64, 1)
+	b.MaxPool("stem.pool", 3, in, 2)
+	in = convBN("stem4", 1, in, 80, 1)
+	in = convBN("stem5", 3, in, 192, 1)
+	b.MaxPool("stem.pool2", 3, in, 2)
+
+	module := func(tag string, in, t1, t3, t5, tp int) int {
+		entry := b.Tail()[0]
+		a := convBN(tag+".t1", 1, in, t1, 1)
+		aID := b.Tail()[0]
+		b.SetTail(entry)
+		convBN(tag+".t3a", 1, in, t3/2, 1)
+		convBN(tag+".t3b", 3, t3/2, t3, 1)
+		bID := b.Tail()[0]
+		b.SetTail(entry)
+		convBN(tag+".t5a", 1, in, t5/2, 1)
+		convBN(tag+".t5b", 3, t5/2, t5, 1)
+		convBN(tag+".t5c", 3, t5, t5, 1)
+		cID := b.Tail()[0]
+		b.SetTail(entry)
+		b.AvgPool(tag+".pool", 3, in, 1)
+		convBN(tag+".tp", 1, in, tp, 1)
+		dID := b.Tail()[0]
+		out := a + t3 + t5 + tp
+		_ = a
+		b.ConcatMerge(tag+".concat", out, aID, bID, cID, dID)
+		return out
+	}
+	nA, nB, nC := 3, 4, 2
+	if version == 4 {
+		nA, nB, nC = 4, 7, 3
+	}
+	for i := 0; i < nA; i++ {
+		in = module(fmt.Sprintf("a%d", i+1), in, 64, 96, 96, 64)
+	}
+	in = convBN("reduceA", 3, in, 384, 2)
+	for i := 0; i < nB; i++ {
+		in = module(fmt.Sprintf("b%d", i+1), in, 192, 224, 256, 128)
+	}
+	in = convBN("reduceB", 3, in, 1024, 2)
+	for i := 0; i < nC; i++ {
+		in = module(fmt.Sprintf("c%d", i+1), in, 256, 384, 512, 256)
+	}
+	b.GlobalAvgPool("gap", in)
+	b.Add(model.Operation{Name: "drop", Type: model.OpDropout, Shape: model.Shape{OutChannels: in}})
+	b.Dense("fc", in, classes)
+	b.Add(model.Operation{Name: "softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: classes}})
+	b.Output(classes)
+	return b.Graph()
+}

@@ -1,0 +1,352 @@
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// GoogLeNet builds Inception-v1 (Szegedy et al.): the original inception
+// modules with 1×1 / 3×3 / 5×5 / pooled towers. Auxiliary classifiers are
+// omitted — they exist only during training.
+func GoogLeNet(classes int, scope string) *model.Graph {
+	b := model.NewBuilder("googlenet", "inception", scope)
+	b.Input(3)
+	b.Conv("stem.conv1", 7, 3, 64, 2)
+	b.ReLU("stem.relu1", 64)
+	b.MaxPool("stem.pool1", 3, 64, 2)
+	b.Conv("stem.conv2", 1, 64, 64, 1)
+	b.Conv("stem.conv3", 3, 64, 192, 1)
+	b.ReLU("stem.relu2", 192)
+	b.MaxPool("stem.pool2", 3, 192, 2)
+
+	// Inception module tower widths: 1×1, 3×3-reduce, 3×3, 5×5-reduce, 5×5, pool-proj.
+	type mod struct{ t1, r3, t3, r5, t5, tp int }
+	module := func(tag string, in int, m mod) int {
+		entry := b.Tail()[0]
+		a := b.Conv(tag+".t1", 1, in, m.t1, 1)
+		b.SetTail(entry)
+		b.Conv(tag+".t3r", 1, in, m.r3, 1)
+		c3 := b.Conv(tag+".t3", 3, m.r3, m.t3, 1)
+		b.SetTail(entry)
+		b.Conv(tag+".t5r", 1, in, m.r5, 1)
+		c5 := b.Conv(tag+".t5", 5, m.r5, m.t5, 1)
+		b.SetTail(entry)
+		b.MaxPool(tag+".pool", 3, in, 1)
+		cp := b.Conv(tag+".tp", 1, in, m.tp, 1)
+		out := m.t1 + m.t3 + m.t5 + m.tp
+		b.ConcatMerge(tag+".concat", out, a, c3, c5, cp)
+		b.ReLU(tag+".relu", out)
+		return out
+	}
+	in := 192
+	in = module("i3a", in, mod{64, 96, 128, 16, 32, 32})
+	in = module("i3b", in, mod{128, 128, 192, 32, 96, 64})
+	b.MaxPool("pool3", 3, in, 2)
+	in = module("i4a", in, mod{192, 96, 208, 16, 48, 64})
+	in = module("i4b", in, mod{160, 112, 224, 24, 64, 64})
+	in = module("i4c", in, mod{128, 128, 256, 24, 64, 64})
+	in = module("i4d", in, mod{112, 144, 288, 32, 64, 64})
+	in = module("i4e", in, mod{256, 160, 320, 32, 128, 128})
+	b.MaxPool("pool4", 3, in, 2)
+	in = module("i5a", in, mod{256, 160, 320, 32, 128, 128})
+	in = module("i5b", in, mod{384, 192, 384, 48, 128, 128})
+	b.GlobalAvgPool("gap", in)
+	b.Add(model.Operation{Name: "drop", Type: model.OpDropout, Shape: model.Shape{OutChannels: in}})
+	b.Dense("fc", in, classes)
+	b.Add(model.Operation{Name: "softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: classes}})
+	b.Output(classes)
+	return b.Graph()
+}
+
+// NiN builds Network-in-Network (Lin et al.): conv blocks followed by two
+// 1×1 "mlpconv" layers each, finishing with global average pooling directly
+// over class maps.
+func NiN(classes int, scope string) *model.Graph {
+	b := model.NewBuilder("nin", "nin", scope)
+	b.Input(3)
+	block := func(tag string, k, in, out, stride int, pool bool) int {
+		b.Conv(tag+".conv", k, in, out, stride)
+		b.ReLU(tag+".relu", out)
+		b.Conv(tag+".mlp1", 1, out, out, 1)
+		b.ReLU(tag+".mlp1relu", out)
+		b.Conv(tag+".mlp2", 1, out, out, 1)
+		b.ReLU(tag+".mlp2relu", out)
+		if pool {
+			b.MaxPool(tag+".pool", 3, out, 2)
+			b.Add(model.Operation{Name: tag + ".drop", Type: model.OpDropout, Shape: model.Shape{OutChannels: out}})
+		}
+		return out
+	}
+	in := block("b1", 11, 3, 96, 4, true)
+	in = block("b2", 5, in, 256, 1, true)
+	in = block("b3", 3, in, 384, 1, true)
+	b.Conv("head.conv", 3, in, classes, 1)
+	b.ReLU("head.relu", classes)
+	b.GlobalAvgPool("gap", classes)
+	b.Add(model.Operation{Name: "softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: classes}})
+	b.Output(classes)
+	return b.Graph()
+}
+
+// GhostNet builds GhostNet (Han et al.) at the given width multiplier:
+// ghost modules approximated as a primary pointwise conv producing half the
+// channels plus a cheap depthwise conv generating the "ghost" half, within
+// an inverted-residual skeleton.
+func GhostNet(width float64, classes int, scope string) *model.Graph {
+	b := model.NewBuilder(fmt.Sprintf("ghostnet-w%g", width), "ghostnet", scope)
+	b.Input(3)
+	stem := scaleWidth(16, width)
+	b.Conv("stem.conv", 3, 3, stem, 2)
+	b.BN("stem.bn", stem)
+	b.ReLU("stem.relu", stem)
+
+	ghost := func(tag string, in, out int) int {
+		half := max(out/2, 4)
+		b.Conv(tag+".primary", 1, in, half, 1)
+		b.BN(tag+".bn1", half)
+		b.ReLU(tag+".relu1", half)
+		prim := b.Tail()[0]
+		b.Add(model.Operation{Name: tag + ".cheap", Type: model.OpDepthwiseConv2D,
+			Shape: model.Shape{KernelH: 3, KernelW: 3, InChannels: half, OutChannels: half, Stride: 1}})
+		b.BN(tag+".bn2", half)
+		cheap := b.Tail()[0]
+		b.ConcatMerge(tag+".concat", 2*half, prim, cheap)
+		return 2 * half
+	}
+	plan := []struct{ hidden, out, stride int }{
+		{16, 16, 1}, {48, 24, 2}, {72, 24, 1}, {72, 40, 2}, {120, 40, 1},
+		{240, 80, 2}, {200, 80, 1}, {480, 112, 1}, {672, 160, 2}, {960, 160, 1},
+	}
+	in := stem
+	for i, st := range plan {
+		tag := fmt.Sprintf("b%d", i+1)
+		entry := b.Tail()[0]
+		hidden := ghost(tag+".g1", in, scaleWidth(st.hidden, width))
+		if st.stride > 1 {
+			b.Add(model.Operation{Name: tag + ".dw", Type: model.OpDepthwiseConv2D,
+				Shape: model.Shape{KernelH: 3, KernelW: 3, InChannels: hidden, OutChannels: hidden, Stride: st.stride}})
+			b.BN(tag+".dwbn", hidden)
+		}
+		out := ghost(tag+".g2", hidden, scaleWidth(st.out, width))
+		if st.stride == 1 && in == out {
+			b.AddMerge(tag+".add", out, b.Tail()[0], entry)
+		}
+		in = out
+	}
+	head := scaleWidth(960, width)
+	b.Conv("head.conv", 1, in, head, 1)
+	b.BN("head.bn", head)
+	b.ReLU("head.relu", head)
+	b.GlobalAvgPool("gap", head)
+	b.Dense("head.fc1", head, 1280)
+	b.ReLU("head.fc1relu", 1280)
+	b.Dense("fc", 1280, classes)
+	b.Add(model.Operation{Name: "softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: classes}})
+	b.Output(classes)
+	return b.Graph()
+}
+
+// regnetPlans gives (stage depths, stage widths) for the RegNetX variants
+// (Radosavovic et al.).
+var regnetPlans = map[string]struct {
+	depths [4]int
+	widths [4]int
+}{
+	"200mf": {[4]int{1, 1, 4, 7}, [4]int{24, 56, 152, 368}},
+	"400mf": {[4]int{1, 2, 7, 12}, [4]int{32, 64, 160, 384}},
+	"800mf": {[4]int{1, 3, 7, 5}, [4]int{64, 128, 288, 672}},
+	"1.6gf": {[4]int{2, 4, 10, 2}, [4]int{72, 168, 408, 912}},
+}
+
+// RegNetX builds the named RegNetX variant: X-blocks (1×1 → grouped 3×3 →
+// 1×1 with residual), groups modelled as plain convolutions.
+func RegNetX(variant string, classes int, scope string) *model.Graph {
+	plan, ok := regnetPlans[variant]
+	if !ok {
+		panic(fmt.Sprintf("zoo: unknown RegNetX variant %q", variant))
+	}
+	b := model.NewBuilder("regnetx-"+variant, "regnet", scope)
+	b.Input(3)
+	b.Conv("stem.conv", 3, 3, 32, 2)
+	b.BN("stem.bn", 32)
+	b.ReLU("stem.relu", 32)
+	in := 32
+	for si := 0; si < 4; si++ {
+		w := plan.widths[si]
+		for blk := 0; blk < plan.depths[si]; blk++ {
+			stride := 1
+			if blk == 0 {
+				stride = 2
+			}
+			tag := fmt.Sprintf("s%d.b%d", si+1, blk+1)
+			entry := b.Tail()[0]
+			b.Conv(tag+".conv1", 1, in, w, 1)
+			b.BN(tag+".bn1", w)
+			b.ReLU(tag+".relu1", w)
+			// Grouped 3×3 with group width 24: each output channel sees 24
+			// inputs, which the parameter count of InChannels=24 captures.
+			b.Add(model.Operation{Name: tag + ".conv2", Type: model.OpConv2D,
+				Shape: model.Shape{KernelH: 3, KernelW: 3, InChannels: 24, OutChannels: w, Stride: stride}})
+			b.BN(tag+".bn2", w)
+			b.ReLU(tag+".relu2", w)
+			b.Conv(tag+".conv3", 1, w, w, 1)
+			b.BN(tag+".bn3", w)
+			body := b.Tail()[0]
+			shortcut := entry
+			if in != w || stride != 1 {
+				b.SetTail(entry)
+				b.Conv(tag+".sc", 1, in, w, stride)
+				b.BN(tag+".scbn", w)
+				shortcut = b.Tail()[0]
+			}
+			b.AddMerge(tag+".add", w, body, shortcut)
+			b.ReLU(tag+".relu3", w)
+			in = w
+		}
+	}
+	b.GlobalAvgPool("gap", in)
+	b.Dense("fc", in, classes)
+	b.Add(model.Operation{Name: "softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: classes}})
+	b.Output(classes)
+	return b.Graph()
+}
+
+// MnasNet builds MnasNet-A1/B1 (Tan et al.): mobile inverted bottlenecks;
+// the A1 variant adds squeeze-and-excitation to selected stages.
+func MnasNet(variant string, classes int, scope string) *model.Graph {
+	se := variant == "a1"
+	b := model.NewBuilder("mnasnet-"+variant, "mnasnet", scope)
+	b.Input(3)
+	b.Conv("stem.conv", 3, 3, 32, 2)
+	b.BN("stem.bn", 32)
+	b.ReLU("stem.relu", 32)
+
+	plan := []struct {
+		t, out, n, s, k int
+		se              bool
+	}{
+		{1, 16, 1, 1, 3, false}, {6, 24, 2, 2, 3, false}, {3, 40, 3, 2, 5, true},
+		{6, 80, 4, 2, 3, false}, {6, 112, 2, 1, 3, true}, {6, 160, 3, 2, 5, true}, {6, 320, 1, 1, 3, false},
+	}
+	in := 32
+	for si, st := range plan {
+		for r := 0; r < st.n; r++ {
+			stride := 1
+			if r == 0 {
+				stride = st.s
+			}
+			tag := fmt.Sprintf("s%d.b%d", si+1, r+1)
+			entry := b.Tail()[0]
+			hidden := in * st.t
+			if st.t != 1 {
+				b.Conv(tag+".expand", 1, in, hidden, 1)
+				b.BN(tag+".bn1", hidden)
+				b.ReLU(tag+".relu1", hidden)
+			}
+			b.Add(model.Operation{Name: tag + ".dw", Type: model.OpDepthwiseConv2D,
+				Shape: model.Shape{KernelH: st.k, KernelW: st.k, InChannels: hidden, OutChannels: hidden, Stride: stride}})
+			b.BN(tag+".bn2", hidden)
+			b.ReLU(tag+".relu2", hidden)
+			if se && st.se {
+				sq := max(hidden/12, 4)
+				b.GlobalAvgPool(tag+".se.gap", hidden)
+				b.Dense(tag+".se.fc1", hidden, sq)
+				b.ReLU(tag+".se.relu", sq)
+				b.Dense(tag+".se.fc2", sq, hidden)
+				b.Add(model.Operation{Name: tag + ".se.sigmoid", Type: model.OpSigmoid, Shape: model.Shape{OutChannels: hidden}})
+			}
+			b.Conv(tag+".project", 1, hidden, st.out, 1)
+			b.BN(tag+".bn3", st.out)
+			if stride == 1 && in == st.out {
+				b.AddMerge(tag+".add", st.out, b.Tail()[0], entry)
+			}
+			in = st.out
+		}
+	}
+	b.Conv("head.conv", 1, in, 1280, 1)
+	b.BN("head.bn", 1280)
+	b.ReLU("head.relu", 1280)
+	b.GlobalAvgPool("gap", 1280)
+	b.Dense("fc", 1280, classes)
+	b.Add(model.Operation{Name: "softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: classes}})
+	b.Output(classes)
+	return b.Graph()
+}
+
+// Res2Net builds Res2Net-50 (Gao et al.): bottlenecks whose 3×3 stage is a
+// hierarchy of s=4 smaller convolutions over channel splits, modelled as a
+// chain of width/4 convolutions concatenated back together.
+func Res2Net(classes int, scope string) *model.Graph {
+	b := model.NewBuilder("res2net50", "res2net", scope)
+	b.Input(3)
+	b.Conv("stem.conv", 7, 3, 64, 2)
+	b.BN("stem.bn", 64)
+	b.ReLU("stem.relu", 64)
+	b.MaxPool("stem.pool", 3, 64, 2)
+
+	blocks := [4]int{3, 4, 6, 3}
+	in := 64
+	for si := 0; si < 4; si++ {
+		w := 64 << si
+		out := w * 4
+		for blk := 0; blk < blocks[si]; blk++ {
+			stride := 1
+			if blk == 0 && si > 0 {
+				stride = 2
+			}
+			tag := fmt.Sprintf("s%d.b%d", si+1, blk+1)
+			entry := b.Tail()[0]
+			b.Conv(tag+".conv1", 1, in, w, 1)
+			b.BN(tag+".bn1", w)
+			b.ReLU(tag+".relu1", w)
+			split := b.Tail()[0]
+			// Hierarchical 3×3 stage over four channel splits.
+			sw := w / 4
+			var parts []int
+			prev := -1
+			for p := 0; p < 4; p++ {
+				ptag := fmt.Sprintf("%s.split%d", tag, p+1)
+				if p == 0 {
+					// First split passes through untouched.
+					parts = append(parts, b.AddFrom(model.Operation{
+						Name: ptag + ".id", Type: model.OpIdentity,
+						Shape: model.Shape{OutChannels: sw}}, split))
+					prev = parts[0]
+					continue
+				}
+				if p == 1 {
+					b.SetTail(split)
+					b.Conv(ptag+".conv", 3, sw, sw, stride)
+				} else {
+					b.AddFrom(model.Operation{Name: ptag + ".conv", Type: model.OpConv2D,
+						Shape: model.Shape{KernelH: 3, KernelW: 3, InChannels: sw, OutChannels: sw, Stride: stride},
+					}, split, prev)
+				}
+				b.BN(ptag+".bn", sw)
+				b.ReLU(ptag+".relu", sw)
+				parts = append(parts, b.Tail()[0])
+				prev = parts[len(parts)-1]
+			}
+			b.ConcatMerge(tag+".concat", w, parts...)
+			b.Conv(tag+".conv3", 1, w, out, 1)
+			b.BN(tag+".bn3", out)
+			body := b.Tail()[0]
+			shortcut := entry
+			if in != out || stride != 1 {
+				b.SetTail(entry)
+				b.Conv(tag+".sc", 1, in, out, stride)
+				b.BN(tag+".scbn", out)
+				shortcut = b.Tail()[0]
+			}
+			b.AddMerge(tag+".add", out, body, shortcut)
+			b.ReLU(tag+".relu3", out)
+			in = out
+		}
+	}
+	b.GlobalAvgPool("gap", in)
+	b.Dense("fc", in, classes)
+	b.Add(model.Operation{Name: "softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: classes}})
+	b.Output(classes)
+	return b.Graph()
+}

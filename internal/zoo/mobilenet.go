@@ -1,0 +1,107 @@
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+func scaleWidth(w int, mult float64) int {
+	s := int(float64(w) * mult)
+	if s < 8 {
+		s = 8
+	}
+	return s
+}
+
+// MobileNetV1 builds the depthwise-separable MobileNet (Howard et al.) with
+// the given width multiplier.
+func MobileNetV1(width float64, classes int, scope string) *model.Graph {
+	b := model.NewBuilder("mobilenet", "mobilenet", scope)
+	b.Input(3)
+	c := scaleWidth(32, width)
+	b.Conv("stem.conv", 3, 3, c, 2)
+	b.BN("stem.bn", c)
+	b.ReLU("stem.relu", c)
+
+	// (output width, stride) per separable block.
+	plan := []struct{ out, stride int }{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1}, {512, 2},
+		{512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {1024, 2}, {1024, 1},
+	}
+	in := c
+	for i, p := range plan {
+		out := scaleWidth(p.out, width)
+		tag := fmt.Sprintf("b%d", i+1)
+		b.Add(model.Operation{Name: tag + ".dwconv", Type: model.OpDepthwiseConv2D,
+			Shape: model.Shape{KernelH: 3, KernelW: 3, InChannels: in, OutChannels: in, Stride: p.stride}})
+		b.BN(tag+".bn1", in)
+		b.ReLU(tag+".relu1", in)
+		b.Conv(tag+".pwconv", 1, in, out, 1)
+		b.BN(tag+".bn2", out)
+		b.ReLU(tag+".relu2", out)
+		in = out
+	}
+	b.GlobalAvgPool("gap", in)
+	b.Dense("fc", in, classes)
+	b.Add(model.Operation{Name: "softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: classes}})
+	b.Output(classes)
+	return b.Graph()
+}
+
+// MobileNetV2 builds the inverted-residual MobileNetV2 (Sandler et al.) with
+// the given width multiplier.
+func MobileNetV2(width float64, classes int, scope string) *model.Graph {
+	b := model.NewBuilder("mobilenetv2", "mobilenetv2", scope)
+	b.Input(3)
+	c := scaleWidth(32, width)
+	b.Conv("stem.conv", 3, 3, c, 2)
+	b.BN("stem.bn", c)
+	b.Add(model.Operation{Name: "stem.relu6", Type: model.OpReLU, Shape: model.Shape{OutChannels: c}})
+
+	// (expansion t, output width, repeats n, stride s) per stage.
+	plan := []struct{ t, out, n, s int }{
+		{1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 2}, {6, 64, 4, 2},
+		{6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+	}
+	in := c
+	for si, st := range plan {
+		out := scaleWidth(st.out, width)
+		for r := 0; r < st.n; r++ {
+			stride := 1
+			if r == 0 {
+				stride = st.s
+			}
+			tag := fmt.Sprintf("s%d.b%d", si+1, r+1)
+			entry := b.Tail()[0]
+			hidden := in * st.t
+			if st.t != 1 {
+				b.Conv(tag+".expand", 1, in, hidden, 1)
+				b.BN(tag+".bn1", hidden)
+				b.Add(model.Operation{Name: tag + ".relu6a", Type: model.OpReLU, Shape: model.Shape{OutChannels: hidden}})
+			}
+			b.Add(model.Operation{Name: tag + ".dwconv", Type: model.OpDepthwiseConv2D,
+				Shape: model.Shape{KernelH: 3, KernelW: 3, InChannels: hidden, OutChannels: hidden, Stride: stride}})
+			b.BN(tag+".bn2", hidden)
+			b.Add(model.Operation{Name: tag + ".relu6b", Type: model.OpReLU, Shape: model.Shape{OutChannels: hidden}})
+			b.Conv(tag+".project", 1, hidden, out, 1)
+			b.BN(tag+".bn3", out)
+			if stride == 1 && in == out {
+				b.AddMerge(tag+".add", out, b.Tail()[0], entry)
+			}
+			in = out
+		}
+	}
+	last := scaleWidth(1280, width)
+	if last < 1280 {
+		last = 1280 // v2 keeps the final width at 1280 for multipliers < 1
+	}
+	b.Conv("head.conv", 1, in, last, 1)
+	b.BN("head.bn", last)
+	b.Add(model.Operation{Name: "head.relu6", Type: model.OpReLU, Shape: model.Shape{OutChannels: last}})
+	b.GlobalAvgPool("gap", last)
+	b.Dense("fc", last, classes)
+	b.Add(model.Operation{Name: "softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: classes}})
+	b.Output(classes)
+	return b.Graph()
+}

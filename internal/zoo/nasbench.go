@@ -1,0 +1,151 @@
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// NAS-Bench-201 (Dong & Yang, ICLR 2020) defines a fixed cell-based search
+// space: each cell is a DAG over 4 nodes whose 6 edges each carry one of 5
+// candidate operations, giving 5⁶ = 15 625 architectures. The macro skeleton
+// is a conv stem, three stages of stacked cells at widths 16/32/64 separated
+// by residual reduction blocks, and a linear classifier.
+
+// NASBenchSize is the number of architectures in the search space.
+const NASBenchSize = 15625
+
+// nasOp is a candidate operation on a cell edge.
+type nasOp uint8
+
+const (
+	nasNone  nasOp = iota // "none": the zeroize operation
+	nasSkip               // "skip_connect"
+	nasConv1              // "nor_conv_1x1" (ReLU-Conv-BN)
+	nasConv3              // "nor_conv_3x3" (ReLU-Conv-BN)
+	nasPool               // "avg_pool_3x3"
+	nasOpCount
+)
+
+var nasOpNames = [...]string{"none", "skip_connect", "nor_conv_1x1", "nor_conv_3x3", "avg_pool_3x3"}
+
+// nasCellEdges lists the 6 cell edges in NAS-Bench-201's canonical order.
+var nasCellEdges = [6][2]int{{0, 1}, {0, 2}, {1, 2}, {0, 3}, {1, 3}, {2, 3}}
+
+// NASBenchArch decodes an architecture index into its 6 edge operations
+// (base-5 digits, least significant digit = first edge).
+func NASBenchArch(index int) ([6]nasOp, error) {
+	var arch [6]nasOp
+	if index < 0 || index >= NASBenchSize {
+		return arch, fmt.Errorf("zoo: NAS-Bench index %d out of [0, %d)", index, NASBenchSize)
+	}
+	for i := 0; i < 6; i++ {
+		arch[i] = nasOp(index % 5)
+		index /= 5
+	}
+	return arch, nil
+}
+
+// NASBenchString renders an architecture in the benchmark's arch-string
+// notation, e.g. "|nor_conv_3x3~0|+|skip_connect~0|none~1|+|...".
+func NASBenchString(arch [6]nasOp) string {
+	s := ""
+	e := 0
+	for node := 1; node <= 3; node++ {
+		s += "|"
+		for prev := 0; prev < node; prev++ {
+			s += fmt.Sprintf("%s~%d|", nasOpNames[arch[e]], prev)
+			e++
+		}
+		if node < 3 {
+			s += "+"
+		}
+	}
+	return s
+}
+
+// NASBenchModel builds the model graph for the architecture with the given
+// index, with cellsPerStage cells in each of the three stages (the benchmark
+// uses 5) and the given classifier width (CIFAR-10 → 10 classes).
+func NASBenchModel(index, cellsPerStage, classes int) (*model.Graph, error) {
+	arch, err := NASBenchArch(index)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("nasbench-%05d", index)
+	b := model.NewBuilder(name, "nasbench", name)
+	b.Input(3)
+	b.Conv("stem.conv", 3, 3, 16, 1)
+	b.BN("stem.bn", 16)
+
+	width := 16
+	for stage := 0; stage < 3; stage++ {
+		for cell := 0; cell < cellsPerStage; cell++ {
+			buildNASCell(b, fmt.Sprintf("s%d.c%d", stage+1, cell+1), arch, width)
+		}
+		if stage < 2 {
+			// Residual reduction block: basic block with stride 2 doubling width.
+			out := width * 2
+			tag := fmt.Sprintf("s%d.reduce", stage+1)
+			entry := b.Tail()[0]
+			b.Conv(tag+".conv1", 3, width, out, 2)
+			b.BN(tag+".bn1", out)
+			b.ReLU(tag+".relu1", out)
+			b.Conv(tag+".conv2", 3, out, out, 1)
+			b.BN(tag+".bn2", out)
+			body := b.Tail()[0]
+			b.SetTail(entry)
+			b.AvgPool(tag+".scpool", 2, width, 2)
+			b.Conv(tag+".scconv", 1, width, out, 1)
+			b.AddMerge(tag+".add", out, body, b.Tail()[0])
+			width = out
+		}
+	}
+	b.BN("final.bn", width)
+	b.ReLU("final.relu", width)
+	b.GlobalAvgPool("gap", width)
+	b.Dense("fc", width, classes)
+	b.Add(model.Operation{Name: "softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: classes}})
+	b.Output(classes)
+	g := b.Graph()
+	return g, nil
+}
+
+// buildNASCell appends one cell. Node 0 is the cell input (current tail);
+// node j receives the elementwise sum of its incoming edge operations.
+func buildNASCell(b *model.Builder, tag string, arch [6]nasOp, width int) {
+	nodes := [4]int{b.Tail()[0], -1, -1, -1}
+	incoming := [4][]int{}
+	for e, edge := range nasCellEdges {
+		from, to := edge[0], edge[1]
+		etag := fmt.Sprintf("%s.e%d_%d", tag, from, to)
+		var outID int
+		switch arch[e] {
+		case nasNone:
+			outID = b.AddFrom(model.Operation{Name: etag + ".zero", Type: model.OpZero,
+				Shape: model.Shape{OutChannels: width}}, nodes[from])
+		case nasSkip:
+			outID = b.AddFrom(model.Operation{Name: etag + ".skip", Type: model.OpIdentity,
+				Shape: model.Shape{OutChannels: width}}, nodes[from])
+		case nasConv1, nasConv3:
+			k := 1
+			if arch[e] == nasConv3 {
+				k = 3
+			}
+			b.SetTail(nodes[from])
+			b.ReLU(etag+".relu", width)
+			b.Conv(etag+".conv", k, width, width, 1)
+			outID = b.BN(etag+".bn", width)
+		case nasPool:
+			outID = b.AddFrom(model.Operation{Name: etag + ".pool", Type: model.OpAvgPool,
+				Shape: model.Shape{KernelH: 3, KernelW: 3, InChannels: width, OutChannels: width, Stride: 1}}, nodes[from])
+		}
+		incoming[to] = append(incoming[to], outID)
+		// Node `to` is complete once all its inbound edges are built; edges
+		// arrive in canonical order so node j closes at its last edge.
+		if (to == 1 && e == 0) || (to == 2 && e == 2) || (to == 3 && e == 5) {
+			nodes[to] = b.AddMerge(fmt.Sprintf("%s.n%d", tag, to), width, incoming[to]...)
+		}
+	}
+	b.SetTail(nodes[3])
+}

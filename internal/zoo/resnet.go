@@ -1,0 +1,183 @@
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// ResNetConfig selects a residual-network variant. The one generator covers
+// plain ResNet, pre-activation ResNet, SE-ResNet, ResNeXt (via InnerWidth),
+// Wide ResNet (via Width), BagNet (via BagKernel) and DLA-style aggregation
+// (via Aggregate).
+type ResNetConfig struct {
+	// Depth selects the stage plan (10..200). Depths ≥ 50 use bottleneck
+	// blocks with 4× expansion; smaller depths use basic blocks.
+	Depth int
+	// Width multiplies the stage output widths (Wide ResNet). 0 means 1.
+	Width float64
+	// InnerWidth multiplies the bottleneck inner width (ResNeXt-style
+	// capacity increase). 0 means 1.
+	InnerWidth float64
+	// PreAct uses pre-activation ordering (BN→ReLU→conv) as in PreResNet.
+	PreAct bool
+	// SE appends a squeeze-and-excitation side branch to every block.
+	SE bool
+	// BagKernel, if nonzero, shrinks most mid-convolutions to 1×1 as in
+	// BagNet; larger values keep 3×3 kernels in more leading blocks.
+	BagKernel int
+	// Aggregate appends a DLA-style aggregation convolution after each stage.
+	Aggregate bool
+}
+
+type resnetPlan struct {
+	blocks     [4]int
+	bottleneck bool
+}
+
+var resnetPlans = map[int]resnetPlan{
+	10:  {[4]int{1, 1, 1, 1}, false},
+	12:  {[4]int{2, 1, 1, 1}, false},
+	14:  {[4]int{2, 2, 1, 1}, false},
+	16:  {[4]int{2, 2, 2, 1}, false},
+	18:  {[4]int{2, 2, 2, 2}, false},
+	26:  {[4]int{3, 3, 3, 3}, false},
+	34:  {[4]int{3, 4, 6, 3}, false},
+	50:  {[4]int{3, 4, 6, 3}, true},
+	101: {[4]int{3, 4, 23, 3}, true},
+	152: {[4]int{3, 8, 36, 3}, true},
+	200: {[4]int{3, 24, 36, 3}, true},
+}
+
+// ResNet builds a residual network per cfg. Parameter counts for the plain
+// ImageNet variants match the published models (ResNet50 ≈ 25.6M, ResNet101
+// ≈ 44.7M, ResNet152 ≈ 60.4M; paper Fig 2c).
+func ResNet(cfg ResNetConfig, classes int, scope string) *model.Graph {
+	plan, ok := resnetPlans[cfg.Depth]
+	if !ok {
+		panic(fmt.Sprintf("zoo: no ResNet plan for depth %d", cfg.Depth))
+	}
+	wmul := cfg.Width
+	if wmul == 0 {
+		wmul = 1
+	}
+	imul := cfg.InnerWidth
+	if imul == 0 {
+		imul = 1
+	}
+	b := model.NewBuilder(fmt.Sprintf("resnet%d", cfg.Depth), "resnet", scope)
+	b.Input(3)
+	// Stem.
+	b.Conv("stem.conv", 7, 3, 64, 2)
+	b.BN("stem.bn", 64)
+	b.ReLU("stem.relu", 64)
+	b.MaxPool("stem.pool", 3, 64, 2)
+
+	in := 64
+	expansion := 1
+	if plan.bottleneck {
+		expansion = 4
+	}
+	for stage := 0; stage < 4; stage++ {
+		base := 64 << stage
+		w := int(float64(base) * wmul)
+		out := w * expansion
+		for blk := 0; blk < plan.blocks[stage]; blk++ {
+			stride := 1
+			if blk == 0 && stage > 0 {
+				stride = 2
+			}
+			tag := fmt.Sprintf("s%d.b%d", stage+1, blk+1)
+			entry := b.Tail()[0]
+			midK := 3
+			if cfg.BagKernel > 0 && blk >= cfg.BagKernel/8 {
+				midK = 1
+			}
+			var body int
+			if plan.bottleneck {
+				wi := int(float64(w) * imul)
+				if cfg.PreAct {
+					b.BN(tag+".bn1", in)
+					b.ReLU(tag+".relu1", in)
+				}
+				b.Conv(tag+".conv1", 1, in, wi, 1)
+				if !cfg.PreAct {
+					b.BN(tag+".bn1", wi)
+					b.ReLU(tag+".relu1", wi)
+				} else {
+					b.BN(tag+".bn2", wi)
+					b.ReLU(tag+".relu2", wi)
+				}
+				b.Conv(tag+".conv2", midK, wi, wi, stride)
+				if !cfg.PreAct {
+					b.BN(tag+".bn2", wi)
+					b.ReLU(tag+".relu2", wi)
+				} else {
+					b.BN(tag+".bn3", wi)
+					b.ReLU(tag+".relu3", wi)
+				}
+				b.Conv(tag+".conv3", 1, wi, out, 1)
+				if !cfg.PreAct {
+					b.BN(tag+".bn3", out)
+				}
+				body = b.Tail()[0]
+			} else {
+				if cfg.PreAct {
+					b.BN(tag+".bn1", in)
+					b.ReLU(tag+".relu1", in)
+				}
+				b.Conv(tag+".conv1", midK, in, out, stride)
+				if !cfg.PreAct {
+					b.BN(tag+".bn1", out)
+					b.ReLU(tag+".relu1", out)
+				} else {
+					b.BN(tag+".bn2", out)
+					b.ReLU(tag+".relu2", out)
+				}
+				b.Conv(tag+".conv2", midK, out, out, 1)
+				if !cfg.PreAct {
+					b.BN(tag+".bn2", out)
+				}
+				body = b.Tail()[0]
+			}
+			if cfg.SE {
+				b.GlobalAvgPool(tag+".se.gap", out)
+				b.Dense(tag+".se.fc1", out, max(out/16, 4))
+				b.ReLU(tag+".se.relu", max(out/16, 4))
+				b.Dense(tag+".se.fc2", max(out/16, 4), out)
+				b.Add(model.Operation{Name: tag + ".se.sigmoid", Type: model.OpSigmoid, Shape: model.Shape{OutChannels: out}})
+				body = b.Tail()[0]
+			}
+			// Shortcut.
+			shortcut := entry
+			if in != out || stride != 1 {
+				b.SetTail(entry)
+				b.Conv(tag+".sc.conv", 1, in, out, stride)
+				if !cfg.PreAct {
+					b.BN(tag+".sc.bn", out)
+				}
+				shortcut = b.Tail()[0]
+			}
+			b.AddMerge(tag+".add", out, body, shortcut)
+			if !cfg.PreAct {
+				b.ReLU(tag+".relu_out", out)
+			}
+			in = out
+		}
+		if cfg.Aggregate {
+			tag := fmt.Sprintf("s%d.agg", stage+1)
+			b.Conv(tag+".conv", 1, in, in, 1)
+			b.BN(tag+".bn", in)
+			b.ReLU(tag+".relu", in)
+		}
+	}
+	if cfg.PreAct {
+		b.BN("final.bn", in)
+		b.ReLU("final.relu", in)
+	}
+	b.GlobalAvgPool("gap", in)
+	b.Dense("fc", in, classes)
+	b.Add(model.Operation{Name: "softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: classes}})
+	b.Output(classes)
+	return b.Graph()
+}

@@ -1,0 +1,80 @@
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// RNNConfig describes a recurrent text model: an embedding, a stack of
+// LSTM or GRU layers, and a dense classifier. §7 notes the meta-operator
+// interfaces cover RNN models alongside CNN and transformer; this family
+// exercises that path.
+type RNNConfig struct {
+	Name    string
+	Cell    model.OpType // OpLSTM or OpGRU
+	Layers  int
+	Hidden  int
+	Vocab   int
+	Classes int
+	// Scope seeds the weight identities (defaults to Name).
+	Scope string
+}
+
+// RNN builds the recurrent model described by cfg.
+func RNN(cfg RNNConfig) *model.Graph {
+	if cfg.Cell != model.OpLSTM && cfg.Cell != model.OpGRU {
+		panic(fmt.Sprintf("zoo: RNN cell must be lstm or gru, got %v", cfg.Cell))
+	}
+	scope := cfg.Scope
+	if scope == "" {
+		scope = cfg.Name
+	}
+	b := model.NewBuilder(cfg.Name, "rnn", scope)
+	b.Add(model.Operation{Name: "input", Type: model.OpInput, Shape: model.Shape{OutChannels: cfg.Hidden}})
+	b.Add(model.Operation{Name: "emb.token", Type: model.OpEmbedding,
+		Shape: model.Shape{InChannels: cfg.Vocab, OutChannels: cfg.Hidden}})
+	b.Add(model.Operation{Name: "emb.drop", Type: model.OpDropout, Shape: model.Shape{OutChannels: cfg.Hidden}})
+	in := cfg.Hidden
+	for l := 0; l < cfg.Layers; l++ {
+		b.Add(model.Operation{Name: fmt.Sprintf("rnn%d", l+1), Type: cfg.Cell,
+			Shape: model.Shape{InChannels: in, OutChannels: cfg.Hidden}})
+		b.Add(model.Operation{Name: fmt.Sprintf("rnn%d.drop", l+1), Type: model.OpDropout,
+			Shape: model.Shape{OutChannels: cfg.Hidden}})
+		in = cfg.Hidden
+	}
+	b.Dense("fc", cfg.Hidden, cfg.Classes)
+	b.Add(model.Operation{Name: "softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: cfg.Classes}})
+	b.Output(cfg.Classes)
+	return b.Graph()
+}
+
+// rnnVariants is the RNN text-classification catalog: two cell types ×
+// three size points, sharing a 30k vocabulary.
+var rnnVariants = []RNNConfig{
+	{Name: "lstm-1x128", Cell: model.OpLSTM, Layers: 1, Hidden: 128, Vocab: 30000, Classes: 4},
+	{Name: "lstm-2x256", Cell: model.OpLSTM, Layers: 2, Hidden: 256, Vocab: 30000, Classes: 4},
+	{Name: "lstm-2x512", Cell: model.OpLSTM, Layers: 2, Hidden: 512, Vocab: 30000, Classes: 4},
+	{Name: "gru-1x128", Cell: model.OpGRU, Layers: 1, Hidden: 128, Vocab: 30000, Classes: 4},
+	{Name: "gru-2x256", Cell: model.OpGRU, Layers: 2, Hidden: 256, Vocab: 30000, Classes: 4},
+	{Name: "gru-2x512", Cell: model.OpGRU, Layers: 2, Hidden: 512, Vocab: 30000, Classes: 4},
+}
+
+// RNNNames returns the RNN catalog names in order.
+func RNNNames() []string {
+	out := make([]string, len(rnnVariants))
+	for i, v := range rnnVariants {
+		out[i] = v.Name
+	}
+	return out
+}
+
+// RNNZoo returns the registry of RNN text models.
+func RNNZoo() *Registry {
+	r := NewRegistry()
+	for _, v := range rnnVariants {
+		v := v
+		r.Register(v.Name, func() *model.Graph { return RNN(v) })
+	}
+	return r
+}

@@ -1,0 +1,63 @@
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// vggPlans gives the per-stage convolution counts for each VGG depth
+// (Simonyan & Zisserman, 2015). Stage widths are fixed at 64/128/256/512/512.
+var vggPlans = map[int][5]int{
+	11: {1, 1, 2, 2, 2},
+	13: {2, 2, 2, 2, 2},
+	16: {2, 2, 3, 3, 3},
+	19: {2, 2, 4, 4, 4},
+}
+
+// VGG builds a VGG-style model: five conv stages separated by max pooling,
+// followed by two 4096-wide fully connected layers and a classifier.
+// With bn=true each convolution is followed by batch normalization
+// (the "bn-vgg" variants of Imgclsmob).
+//
+// Parameter counts match the published models: VGG11 ≈ 132.9M, VGG16 ≈
+// 138.4M, VGG19 ≈ 143.7M with 1000 classes (paper Fig 2c).
+func VGG(depth int, bn bool, classes int, scope string) *model.Graph {
+	plan, ok := vggPlans[depth]
+	if !ok {
+		panic(fmt.Sprintf("zoo: no VGG plan for depth %d", depth))
+	}
+	name := fmt.Sprintf("vgg%d", depth)
+	if bn {
+		name = "bn-" + name
+	}
+	b := model.NewBuilder(name, "vgg", scope)
+	b.Input(3)
+	widths := [5]int{64, 128, 256, 512, 512}
+	in := 3
+	for stage, n := range plan {
+		w := widths[stage]
+		for i := 0; i < n; i++ {
+			tag := fmt.Sprintf("%d_%d", stage+1, i+1)
+			b.Conv("conv"+tag, 3, in, w, 1)
+			if bn {
+				b.BN("bn"+tag, w)
+			}
+			b.ReLU("relu"+tag, w)
+			in = w
+		}
+		b.MaxPool(fmt.Sprintf("pool%d", stage+1), 2, w, 2)
+	}
+	// 7×7 feature map → flatten to 512·49 = 25088.
+	b.Add(model.Operation{Name: "flatten", Type: model.OpFlatten, Shape: model.Shape{InChannels: 512, OutChannels: 25088}})
+	b.Dense("fc1", 25088, 4096)
+	b.ReLU("relu_fc1", 4096)
+	b.Add(model.Operation{Name: "drop1", Type: model.OpDropout, Shape: model.Shape{OutChannels: 4096}})
+	b.Dense("fc2", 4096, 4096)
+	b.ReLU("relu_fc2", 4096)
+	b.Add(model.Operation{Name: "drop2", Type: model.OpDropout, Shape: model.Shape{OutChannels: 4096}})
+	b.Dense("fc3", 4096, classes)
+	b.Add(model.Operation{Name: "softmax", Type: model.OpSoftmax, Shape: model.Shape{OutChannels: classes}})
+	b.Output(classes)
+	return b.Graph()
+}

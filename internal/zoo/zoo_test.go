@@ -1,0 +1,481 @@
+package zoo
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestImgclsmobSize pins the zoo to the 389 models reported in §8.1.
+func TestImgclsmobSize(t *testing.T) {
+	r := Imgclsmob()
+	if r.Len() != 389 {
+		t.Fatalf("Imgclsmob has %d models, want 389", r.Len())
+	}
+	if len(r.Names()) != 389 {
+		t.Fatalf("Names() returned %d entries", len(r.Names()))
+	}
+}
+
+// TestImgclsmobAllValid builds every model in the zoo and validates it.
+func TestImgclsmobAllValid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building 389 models is slow in -short mode")
+	}
+	r := Imgclsmob()
+	for _, name := range r.Names() {
+		g, err := r.Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if g.Name != name {
+			t.Errorf("model %q reports name %q", name, g.Name)
+		}
+		st := g.Stats()
+		if st.Params <= 0 {
+			t.Errorf("model %q has no parameters", name)
+		}
+		if st.Ops < 10 {
+			t.Errorf("model %q has only %d ops", name, st.Ops)
+		}
+	}
+}
+
+// TestParamCountsMatchPaper checks Fig 2c: VGG11/16/19 ≈ 132.9/138.4/143.7M
+// and ResNet50/101/152 ≈ 25.6/44.7/60.4M parameters (±3 %).
+func TestParamCountsMatchPaper(t *testing.T) {
+	r := Imgclsmob()
+	want := map[string]float64{
+		"vgg11-imagenet":     132.9e6,
+		"vgg16-imagenet":     138.4e6,
+		"vgg19-imagenet":     143.7e6,
+		"resnet50-imagenet":  25.6e6,
+		"resnet101-imagenet": 44.7e6,
+		"resnet152-imagenet": 60.4e6,
+	}
+	for name, w := range want {
+		g := r.MustGet(name)
+		got := float64(g.Stats().Params)
+		if math.Abs(got-w)/w > 0.03 {
+			t.Errorf("%s has %.1fM params, paper reports %.1fM", name, got/1e6, w/1e6)
+		}
+	}
+}
+
+// TestResNetLayerScaling pins the §3.1 observation that ResNet101 has about
+// twice the layers of ResNet50, and the §4.4 observation that ResNet101 has
+// ~347 operations of which ~101 carry weights.
+func TestResNetLayerScaling(t *testing.T) {
+	r := Imgclsmob()
+	r50 := r.MustGet("resnet50-imagenet").Stats()
+	r101 := r.MustGet("resnet101-imagenet").Stats()
+	if ratio := float64(r101.Ops) / float64(r50.Ops); ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("ResNet101/ResNet50 op ratio = %.2f, want ≈ 2", ratio)
+	}
+	if r101.Ops < 300 || r101.Ops > 420 {
+		t.Errorf("ResNet101 has %d ops, paper reports ≈ 347", r101.Ops)
+	}
+	// "only 101 operations have weights" counts conv/dense; including
+	// batch-norms our weighted count is higher, but conv+dense must be ≈ 104.
+	g := r.MustGet("resnet101-imagenet")
+	convDense := 0
+	for _, op := range g.Ops() {
+		if op.Type == model.OpConv2D || op.Type == model.OpDense {
+			convDense++
+		}
+	}
+	if convDense < 100 || convDense > 110 {
+		t.Errorf("ResNet101 has %d conv+dense ops, want ≈ 104", convDense)
+	}
+}
+
+// TestWeightedOpsMinority pins the §4.4 observation that most operations in
+// a model do not contain weights, for conv/dense specifically.
+func TestWeightedOpsMinority(t *testing.T) {
+	r := Imgclsmob()
+	for _, name := range []string{"resnet101-imagenet", "densenet121-imagenet", "mobilenetv2-w1-imagenet"} {
+		g := r.MustGet(name)
+		convDense := 0
+		for _, op := range g.Ops() {
+			if op.Type == model.OpConv2D || op.Type == model.OpDense {
+				convDense++
+			}
+		}
+		if frac := float64(convDense) / float64(g.NumOps()); frac > 0.5 {
+			t.Errorf("%s: conv+dense fraction %.2f, want < 0.5", name, frac)
+		}
+	}
+}
+
+func TestDatasetVariantsShareStructureNotWeights(t *testing.T) {
+	r := Imgclsmob()
+	a := r.MustGet("resnet50-cifar10")
+	b := r.MustGet("resnet50-svhn")
+	// Same class count (10) → identical structure, different weights.
+	if !a.StructuralEqual(b) {
+		t.Fatal("resnet50-cifar10 and resnet50-svhn should be structurally equal")
+	}
+	if a.Equal(b) {
+		t.Fatal("different datasets must not share weights")
+	}
+	// Different class count → structure differs only in the classifier.
+	c := r.MustGet("resnet50-cifar100")
+	if a.StructuralEqual(c) {
+		t.Fatal("cifar10 vs cifar100 classifier widths should differ")
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	r := Imgclsmob()
+	if _, err := r.Get("not-a-model"); err == nil {
+		t.Error("Get accepted unknown model")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	nr := NewRegistry()
+	nr.Register("x", func() *model.Graph { return nil })
+	nr.Register("x", func() *model.Graph { return nil })
+}
+
+func TestRegistryCaches(t *testing.T) {
+	r := Imgclsmob()
+	a := r.MustGet("vgg16-imagenet")
+	b := r.MustGet("vgg16-imagenet")
+	if a != b {
+		t.Error("Get should memoize")
+	}
+}
+
+func TestRepresentative21(t *testing.T) {
+	cnn, bert := Representative21()
+	if len(cnn)+len(bert) != 21 {
+		t.Fatalf("Representative21 returned %d models, want 21", len(cnn)+len(bert))
+	}
+	img, bz := Imgclsmob(), BERTZoo()
+	for _, n := range cnn {
+		if _, err := img.Get(n); err != nil {
+			t.Errorf("CNN representative %q: %v", n, err)
+		}
+	}
+	for _, n := range bert {
+		if _, err := bz.Get(n); err != nil {
+			t.Errorf("BERT representative %q: %v", n, err)
+		}
+	}
+}
+
+func TestBERTZoo(t *testing.T) {
+	r := BERTZoo()
+	if r.Len() != 10 {
+		t.Fatalf("BERT zoo has %d models, want 10", r.Len())
+	}
+	base := r.MustGet("bert-base-uncased")
+	st := base.Stats()
+	// BERT-Base ≈ 110M parameters.
+	if st.Params < 100e6 || st.Params > 120e6 {
+		t.Errorf("bert-base-uncased has %.1fM params, want ≈ 110M", float64(st.Params)/1e6)
+	}
+	tiny := r.MustGet("bert-tiny").Stats()
+	if tiny.Params >= st.Params/10 {
+		t.Errorf("bert-tiny (%.1fM) should be ≪ bert-base", float64(tiny.Params)/1e6)
+	}
+	// Cased and uncased differ only in the embedding vocabulary.
+	cased := r.MustGet("bert-base-cased")
+	if cased.NumOps() != base.NumOps() {
+		t.Error("cased and uncased should have identical op counts")
+	}
+	if cased.StructuralEqual(base) {
+		t.Error("cased/uncased vocab difference should show in structure")
+	}
+}
+
+// TestBERTDownstreamShareBase verifies §5.2 Example 2: downstream-task
+// variants share the pre-trained base weights, so only head ops differ.
+func TestBERTDownstreamShareBase(t *testing.T) {
+	r := BERTZoo()
+	sc := r.MustGet("bert-base-sc")
+	qa := r.MustGet("bert-base-qa")
+	base := r.MustGet("bert-base-uncased")
+
+	// Every encoder op of SC must have a weight-identical counterpart in the
+	// plain base model.
+	baseIDs := make(map[uint64]bool)
+	for _, op := range base.Ops() {
+		if op.HasWeights() {
+			baseIDs[op.WeightsID] = true
+		}
+	}
+	shared, headOps := 0, 0
+	for _, op := range sc.Ops() {
+		if !op.HasWeights() {
+			continue
+		}
+		if baseIDs[op.WeightsID] {
+			shared++
+		} else {
+			headOps++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("bert-base-sc shares no weights with bert-base-uncased")
+	}
+	if headOps == 0 || headOps > 4 {
+		t.Fatalf("bert-base-sc has %d task-specific weighted ops, want 1-4", headOps)
+	}
+	// QA has a different head than SC but the same shared base.
+	if sc.Equal(qa) {
+		t.Error("sc and qa variants should differ")
+	}
+}
+
+func TestBERTTransformerOpCensus(t *testing.T) {
+	r := BERTZoo()
+	g := r.MustGet("bert-base-uncased")
+	st := g.Stats()
+	// 12 blocks × (Q,K,V,O) = 48 attention projections.
+	for _, typ := range []model.OpType{model.OpQuery, model.OpKey, model.OpValue, model.OpAttnOutput} {
+		if st.ByType[typ] != 12 {
+			t.Errorf("%v count = %d, want 12", typ, st.ByType[typ])
+		}
+	}
+	if st.ByType[model.OpLogit] != 12 || st.ByType[model.OpAttend] != 12 {
+		t.Error("logit/attend count should be 12")
+	}
+	if st.ByType[model.OpEmbedding] != 3 {
+		t.Errorf("embedding count = %d, want 3 (token/pos/segment)", st.ByType[model.OpEmbedding])
+	}
+	if st.ByType[model.OpLayerNorm] != 25 {
+		t.Errorf("layernorm count = %d, want 25 (1 + 2×12)", st.ByType[model.OpLayerNorm])
+	}
+	// TC head carries a CRF (§5.2 case 4).
+	tc := r.MustGet("bert-base-tc")
+	if tc.Stats().ByType[model.OpCRF] != 1 {
+		t.Error("bert-base-tc should contain a CRF op")
+	}
+}
+
+func TestNASBenchArchDecoding(t *testing.T) {
+	if _, err := NASBenchArch(-1); err == nil {
+		t.Error("accepted negative index")
+	}
+	if _, err := NASBenchArch(NASBenchSize); err == nil {
+		t.Error("accepted out-of-range index")
+	}
+	arch0, err := NASBenchArch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range arch0 {
+		if op != nasNone {
+			t.Error("index 0 should decode to all-none")
+		}
+	}
+	// Index 1+5+25+... digit order: index 7 = 12 base 5 → edge0=2, edge1=1.
+	arch7, _ := NASBenchArch(7)
+	if arch7[0] != nasConv1 || arch7[1] != nasSkip {
+		t.Errorf("index 7 decoded to %v", arch7)
+	}
+	// Round-trip distinctness: distinct indexes yield distinct archs.
+	seen := make(map[[6]nasOp]bool)
+	for i := 0; i < 1000; i++ {
+		a, _ := NASBenchArch(i)
+		if seen[a] {
+			t.Fatalf("duplicate arch at index %d", i)
+		}
+		seen[a] = true
+	}
+}
+
+func TestNASBenchString(t *testing.T) {
+	arch, _ := NASBenchArch(7)
+	s := NASBenchString(arch)
+	if !strings.Contains(s, "nor_conv_1x1~0") || !strings.Contains(s, "skip_connect~0") {
+		t.Errorf("arch string %q missing expected ops", s)
+	}
+	if strings.Count(s, "~") != 6 {
+		t.Errorf("arch string %q should mention 6 edges", s)
+	}
+}
+
+func TestNASBenchModels(t *testing.T) {
+	for _, idx := range []int{0, 1, 7, 777, 15624} {
+		g, err := NASBenchModel(idx, 5, 10)
+		if err != nil {
+			t.Fatalf("NASBenchModel(%d): %v", idx, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("NASBenchModel(%d) invalid: %v", idx, err)
+		}
+		if g.Family != "nasbench" {
+			t.Errorf("family = %q", g.Family)
+		}
+	}
+	if _, err := NASBenchModel(NASBenchSize, 5, 10); err == nil {
+		t.Error("accepted out-of-range index")
+	}
+	// All-none cell (index 0) must still be a connected valid graph, and a
+	// conv-heavy arch must have more parameters.
+	g0, _ := NASBenchModel(0, 5, 10)
+	allConv3 := 3 + 3*5 + 3*25 + 3*125 + 3*625 + 3*3125 // digits all = 3
+	gc, err := NASBenchModel(allConv3, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.Stats().Params <= g0.Stats().Params {
+		t.Error("all-conv arch should outweigh all-none arch")
+	}
+}
+
+// TestNASBenchDeterminism: same index twice gives Equal graphs.
+func TestNASBenchDeterminism(t *testing.T) {
+	a, _ := NASBenchModel(4242, 5, 10)
+	b, _ := NASBenchModel(4242, 5, 10)
+	if !a.Equal(b) {
+		t.Fatal("NASBenchModel not deterministic")
+	}
+}
+
+func TestFamilyDiversity(t *testing.T) {
+	r := Imgclsmob()
+	fams := make(map[string]int)
+	for _, n := range r.Names() {
+		fams[r.MustGet(n).Family]++
+	}
+	if len(fams) < 15 {
+		t.Errorf("zoo spans %d families, want ≥ 15", len(fams))
+	}
+}
+
+func TestMergeRegistries(t *testing.T) {
+	all := NewRegistry()
+	all.Merge(BERTZoo())
+	if all.Len() != 10 {
+		t.Fatalf("merged registry has %d models", all.Len())
+	}
+	g := all.MustGet("bert-tiny")
+	if g == nil || g.Name != "bert-tiny" {
+		t.Fatal("merged Get failed")
+	}
+}
+
+func TestSortedByParams(t *testing.T) {
+	r := BERTZoo()
+	names := r.SortedByParams()
+	if len(names) != 10 {
+		t.Fatalf("SortedByParams returned %d names", len(names))
+	}
+	var prev int64 = -1
+	for _, n := range names {
+		p := r.MustGet(n).Stats().Params
+		if p < prev {
+			t.Fatalf("SortedByParams out of order at %s", n)
+		}
+		prev = p
+	}
+	if names[0] != "bert-tiny" {
+		t.Errorf("smallest BERT should be bert-tiny, got %s", names[0])
+	}
+}
+
+func TestRNNZoo(t *testing.T) {
+	r := RNNZoo()
+	if r.Len() != 6 {
+		t.Fatalf("RNN zoo has %d models, want 6", r.Len())
+	}
+	for _, n := range RNNNames() {
+		g, err := r.Get(n)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", n, err)
+		}
+		if g.Family != "rnn" {
+			t.Errorf("%s family = %q", n, g.Family)
+		}
+	}
+	lstm := r.MustGet("lstm-2x256").Stats()
+	gru := r.MustGet("gru-2x256").Stats()
+	// LSTM has 4 gates vs GRU's 3, so more recurrent weights; embeddings
+	// dominate both, so compare the recurrent ops directly.
+	if lstm.ByType[model.OpLSTM] != 2 || gru.ByType[model.OpGRU] != 2 {
+		t.Errorf("recurrent op counts wrong: %v / %v", lstm.ByType, gru.ByType)
+	}
+	if lstm.Params <= gru.Params {
+		t.Errorf("lstm (%d) should outweigh gru (%d)", lstm.Params, gru.Params)
+	}
+}
+
+func TestRNNRejectsBadCell(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RNN accepted a non-recurrent cell type")
+		}
+	}()
+	RNN(RNNConfig{Name: "x", Cell: model.OpConv2D, Layers: 1, Hidden: 8, Vocab: 10, Classes: 2})
+}
+
+// TestNewFamiliesValid builds one representative from each of the newer
+// families and sanity-checks their scale.
+func TestNewFamiliesValid(t *testing.T) {
+	r := Imgclsmob()
+	cases := map[string][2]float64{ // name -> [min, max] params in millions
+		"googlenet-imagenet":       {5, 9},
+		"nin-imagenet":             {2, 12},
+		"ghostnet-w1-imagenet":     {2, 10},
+		"regnetx-1.6gf-imagenet":   {5, 16},
+		"mnasnet-a1-imagenet":      {3, 8},
+		"res2net50-imagenet":       {14, 30},
+		"efficientnet-b0-imagenet": {3, 9},
+		"efficientnet-b7-imagenet": {25, 90},
+	}
+	for name, band := range cases {
+		g, err := r.Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		p := float64(g.Stats().Params) / 1e6
+		if p < band[0] || p > band[1] {
+			t.Errorf("%s has %.1fM params, want in [%.0f, %.0f]M", name, p, band[0], band[1])
+		}
+	}
+	// MnasNet-A1's SE blocks add parameters over B1.
+	a1 := r.MustGet("mnasnet-a1-imagenet").Stats().Params
+	b1 := r.MustGet("mnasnet-b1-imagenet").Stats().Params
+	if a1 <= b1 {
+		t.Errorf("mnasnet-a1 (%d) should outweigh b1 (%d)", a1, b1)
+	}
+}
+
+func TestGPTZoo(t *testing.T) {
+	r := GPTZoo()
+	if r.Len() != 3 {
+		t.Fatalf("GPT zoo has %d models, want 3", r.Len())
+	}
+	gpt2 := r.MustGet("gpt2")
+	st := gpt2.Stats()
+	// GPT-2 small ≈ 124M parameters plus the untied LM head (~39M here).
+	if st.Params < 110e6 || st.Params > 180e6 {
+		t.Errorf("gpt2 has %.1fM params, want ≈ 124-165M", float64(st.Params)/1e6)
+	}
+	if st.ByType[model.OpQuery] != 12 || st.ByType[model.OpLayerNorm] != 25 {
+		t.Errorf("gpt2 op census wrong: %v", st.ByType)
+	}
+	// DistilGPT-2 shares the teacher's embedding scope.
+	distil := r.MustGet("distilgpt2")
+	sharesEmb := false
+	for _, op := range distil.Ops() {
+		if op.Type == model.OpEmbedding {
+			for _, t2 := range gpt2.Ops() {
+				if t2.Type == model.OpEmbedding && t2.WeightsID == op.WeightsID {
+					sharesEmb = true
+				}
+			}
+		}
+	}
+	if !sharesEmb {
+		t.Error("distilgpt2 should share gpt2's embeddings")
+	}
+}

@@ -1,0 +1,366 @@
+package optimus
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/balancer"
+	"repro/internal/cost"
+	"repro/internal/metaop"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/policy"
+	"repro/internal/simulate"
+	"repro/internal/workload"
+	"repro/internal/zoo"
+)
+
+// Model is a computational graph: operations (conv, dense, attention, ...)
+// connected by dataflow edges.
+type Model = model.Graph
+
+// Plan is a sequence of meta-operators transforming one model into another,
+// with its cost estimates and the safeguard decision.
+type Plan = metaop.Plan
+
+// Registry is a named collection of model generators.
+type Registry = zoo.Registry
+
+// Trace is a time-ordered sequence of function invocations.
+type Trace = workload.Trace
+
+// Hardware selects the latency profile.
+type Hardware int
+
+// Hardware profiles.
+const (
+	// CPU is the default CPU-server profile.
+	CPU Hardware = iota
+	// GPU models a GPU-enabled server: faster inference, but much slower
+	// runtime initialization and model loading (§8.5).
+	GPU
+)
+
+func (h Hardware) profile() *cost.Profile {
+	if h == GPU {
+		return cost.GPU()
+	}
+	return cost.CPU()
+}
+
+// Algorithm selects the transformation planning solver.
+type Algorithm = planner.Algorithm
+
+// Planning algorithms.
+const (
+	// AlgoGroup is the linear-time group-based planner (§4.4 Module 2⁺),
+	// the production default.
+	AlgoGroup = planner.AlgoGroup
+	// AlgoHungarian is the optimal Munkres-assignment planner (Module 2),
+	// orders of magnitude slower.
+	AlgoHungarian = planner.AlgoHungarian
+)
+
+// Imgclsmob returns the 389-model CNN zoo used in the evaluation (§8.1).
+func Imgclsmob() *Registry { return zoo.Imgclsmob() }
+
+// BERTZoo returns the 10 BERT variants of §5.2/§8.1.
+func BERTZoo() *Registry { return zoo.BERTZoo() }
+
+// RNNZoo returns the recurrent text-model catalog (LSTM/GRU stacks), the
+// RNN coverage §7 mentions alongside CNN and transformer models.
+func RNNZoo() *Registry { return zoo.RNNZoo() }
+
+// GPTZoo returns the GPT-2-style decoder catalog (DistilGPT-2, GPT-2,
+// GPT-2-Medium), a second transformer family sharing BERT's operation
+// vocabulary.
+func GPTZoo() *Registry { return zoo.GPTZoo() }
+
+// NASBenchModel builds the NAS-Bench-201 architecture with the given index
+// (0 ≤ index < 15625) using 5 cells per stage and 10 classes.
+func NASBenchModel(index int) (*Model, error) { return zoo.NASBenchModel(index, 5, 10) }
+
+// ---------------------------------------------------------------- Transformer
+
+// Transformer is the inter-function model transformation engine: the paper's
+// core contribution as a standalone library. It profiles meta-operator costs
+// offline (Module 1), plans transformations (Module 2/2⁺), and caches plans
+// for online execution (Module 3).
+type Transformer struct {
+	prof  *cost.Profile
+	pl    *planner.Planner
+	cache *planner.Cache
+}
+
+// NewTransformer returns a transformer for the given hardware and planning
+// algorithm.
+func NewTransformer(hw Hardware, algo Algorithm) *Transformer {
+	prof := hw.profile()
+	return &Transformer{
+		prof:  prof,
+		pl:    planner.New(cost.Exact(prof), algo),
+		cache: planner.NewCache(),
+	}
+}
+
+// Plan returns the (cached) transformation plan from src to dst, including
+// the safeguard decision.
+func (t *Transformer) Plan(src, dst *Model) *Plan {
+	return t.cache.GetOrPlan(t.pl, src, dst)
+}
+
+// Transform executes the plan for src→dst through the meta-operator engine,
+// returning the rewritten model and its (simulated) execution time. The
+// result is verified to be identical to dst; a verification failure is a
+// bug and returns an error.
+func (t *Transformer) Transform(src, dst *Model) (*Model, time.Duration, error) {
+	plan := t.Plan(src, dst)
+	got, took, err := metaop.Apply(t.prof, plan, src, dst)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !got.Equal(dst) {
+		return nil, 0, fmt.Errorf("optimus: transformation %s→%s did not reproduce the destination model", src.Name, dst.Name)
+	}
+	return got, took, nil
+}
+
+// LoadCost returns the latency of loading m from scratch in a warm container.
+func (t *Transformer) LoadCost(m *Model) time.Duration {
+	return t.prof.ModelLoad(m).Total()
+}
+
+// ColdStartCost returns the full cold-start latency for m: sandbox/runtime
+// initialization plus model loading.
+func (t *Transformer) ColdStartCost(m *Model) time.Duration {
+	return t.prof.ColdStart(m)
+}
+
+// ComputeCost returns the inference latency of one request against m.
+func (t *Transformer) ComputeCost(m *Model) time.Duration {
+	return t.prof.Compute(m)
+}
+
+// ---------------------------------------------------------------- System
+
+// PolicyName selects the container-management policy of a System.
+type PolicyName string
+
+// Available policies (§8.1 comparison systems).
+const (
+	PolicyOptimus   PolicyName = "optimus"
+	PolicyOpenWhisk PolicyName = "openwhisk"
+	PolicyPagurus   PolicyName = "pagurus"
+	PolicyTetris    PolicyName = "tetris"
+)
+
+func (p PolicyName) impl() (simulate.Policy, error) {
+	switch p {
+	case PolicyOptimus, "":
+		return policy.Optimus{}, nil
+	case PolicyOpenWhisk:
+		return policy.OpenWhisk{}, nil
+	case PolicyPagurus:
+		return policy.Pagurus{}, nil
+	case PolicyTetris:
+		return policy.Tetris{}, nil
+	default:
+		return nil, fmt.Errorf("optimus: unknown policy %q", p)
+	}
+}
+
+// SystemConfig parameterizes a serverless ML inference cluster.
+type SystemConfig struct {
+	// Nodes is the worker count (default 4); ContainersPerNode bounds
+	// concurrent containers per node (default 8).
+	Nodes             int
+	ContainersPerNode int
+	// Hardware selects the latency profile (default CPU).
+	Hardware Hardware
+	// Policy selects the container scheduler (default PolicyOptimus).
+	Policy PolicyName
+	// KeepAlive (default 10 min) and IdleThreshold (default 60 s) control
+	// container lifecycle (§4.2, §8.1).
+	KeepAlive     time.Duration
+	IdleThreshold time.Duration
+	// UseBalancer enables the §5.1 model-sharing-aware K-medoids placement
+	// (requires a demand history; Run derives it from the trace). When
+	// false, functions are hash-placed.
+	UseBalancer bool
+	// VerifyTransforms executes every transformation plan through the
+	// meta-operator engine and verifies the result (slower; for testing).
+	VerifyTransforms bool
+	// Seed drives every stochastic choice (default 1).
+	Seed int64
+	// ProfilingError perturbs the planner's cost estimates by the given
+	// relative error (simulated stale/imprecise offline profiling, §6).
+	ProfilingError float64
+	// OnlineProfiling, when positive, refines the estimates from observed
+	// meta-operator execution times at the given EWMA rate (§6 Future Work).
+	OnlineProfiling float64
+	// NodeMemoryMB bounds each node's container memory; zero keeps the
+	// slot-based mode. ContainerMemoryMB > 0 selects homogeneous grants,
+	// zero (with NodeMemoryMB set) fine-grained model-sized grants (§6
+	// Limitation 1).
+	NodeMemoryMB      int
+	ContainerMemoryMB int
+	// TransformFailures injects faults: this fraction of transformations
+	// fail halfway and recover by loading from scratch.
+	TransformFailures float64
+}
+
+// System is a serverless ML inference cluster: functions bound to models,
+// served under a container-management policy over a discrete-event cluster.
+type System struct {
+	cfg SystemConfig
+	fns []*simulate.Function
+}
+
+// NewSystem returns an empty system.
+func NewSystem(cfg SystemConfig) *System {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &System{cfg: cfg}
+}
+
+// Register deploys a function serving the given model. Duplicate names are
+// rejected.
+func (s *System) Register(name string, m *Model) error {
+	if m == nil {
+		return fmt.Errorf("optimus: nil model for function %q", name)
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	for _, f := range s.fns {
+		if f.Name == name {
+			return fmt.Errorf("optimus: function %q already registered", name)
+		}
+	}
+	s.fns = append(s.fns, &simulate.Function{Name: name, Model: m})
+	return nil
+}
+
+// MustRegister is Register but panics on error.
+func (s *System) MustRegister(name string, m *Model) {
+	if err := s.Register(name, m); err != nil {
+		panic(err)
+	}
+}
+
+// Functions returns the registered function names in registration order.
+func (s *System) Functions() []string {
+	out := make([]string, len(s.fns))
+	for i, f := range s.fns {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Run replays the trace against the cluster and returns the report.
+func (s *System) Run(trace *Trace) (*Report, error) {
+	pol, err := s.cfg.Policy.impl()
+	if err != nil {
+		return nil, err
+	}
+	nodes := s.cfg.Nodes
+	if nodes <= 0 {
+		nodes = 4
+	}
+	names := s.Functions()
+	var placement map[string][]int
+	if s.cfg.UseBalancer {
+		placement = s.balancerPlacement(trace, nodes)
+	} else {
+		placement = simulate.HashPlacement(names, nodes)
+	}
+	sim := simulate.New(simulate.Config{
+		Nodes:                nodes,
+		ContainersPerNode:    s.cfg.ContainersPerNode,
+		KeepAlive:            s.cfg.KeepAlive,
+		IdleThreshold:        s.cfg.IdleThreshold,
+		Profile:              s.cfg.Hardware.profile(),
+		Policy:               pol,
+		Placement:            placement,
+		Seed:                 s.cfg.Seed,
+		VerifyTransforms:     s.cfg.VerifyTransforms,
+		EstimatorErr:         s.cfg.ProfilingError,
+		OnlineProfiling:      s.cfg.OnlineProfiling,
+		NodeMemoryMB:         s.cfg.NodeMemoryMB,
+		ContainerMemoryMB:    s.cfg.ContainerMemoryMB,
+		TransformFailureRate: s.cfg.TransformFailures,
+	}, s.fns)
+	col, err := sim.Run(trace)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Collector: col, Policy: string(s.cfg.Policy), Verified: sim.TransformsVerified}, nil
+}
+
+func (s *System) balancerPlacement(trace *Trace, nodes int) map[string][]int {
+	infos := make([]balancer.FunctionInfo, len(s.fns))
+	for i, f := range s.fns {
+		infos[i] = balancer.FunctionInfo{
+			Name:   f.Name,
+			Model:  f.Model,
+			Demand: workload.Series(trace, f.Name, balancer.SlotDuration),
+		}
+	}
+	pl := planner.New(cost.Exact(s.cfg.Hardware.profile()), planner.AlgoGroup)
+	return balancer.Placement(pl, infos, nodes, balancer.Config{Seed: s.cfg.Seed})
+}
+
+// Report summarizes a system run.
+type Report struct {
+	*metrics.Collector
+	// Policy is the container-management policy that produced the report.
+	Policy string
+	// Verified counts transformation plans executed through the
+	// meta-operator engine (only with SystemConfig.VerifyTransforms).
+	Verified int
+}
+
+// Summary renders a human-readable digest of the run.
+func (r *Report) Summary() string {
+	fr := r.KindFractions()
+	return fmt.Sprintf(
+		"%d requests: mean %v, p50 %v, p99 %v | warm %.1f%%, transform %.1f%%, cold %.1f%%",
+		r.Len(), r.MeanLatency(), r.Percentile(50), r.Percentile(99),
+		100*fr[metrics.StartWarm], 100*fr[metrics.StartTransform], 100*fr[metrics.StartCold])
+}
+
+// ---------------------------------------------------------------- Workloads
+
+// PoissonTrace generates independent Poisson arrivals at ratePerSec for
+// every function over the duration.
+func PoissonTrace(fns []string, ratePerSec float64, duration time.Duration, seed int64) *Trace {
+	return workload.Poisson(fns, ratePerSec, duration, seed)
+}
+
+// MixedPoissonTrace assigns functions round-robin to the paper's three
+// Poisson intensities (§8.1).
+func MixedPoissonTrace(fns []string, duration time.Duration, seed int64) *Trace {
+	return workload.MixedPoisson(fns, duration, seed)
+}
+
+// AzureTrace generates the production-like synthetic workload substituting
+// for the Microsoft Azure Functions trace (§8.1; see DESIGN.md).
+func AzureTrace(fns []string, duration time.Duration, seed int64) *Trace {
+	return workload.AzureLike(fns, duration, seed)
+}
+
+// WriteTrace persists a trace as CSV; ReadTrace loads one back.
+func WriteTrace(w io.Writer, t *Trace) error { return t.WriteCSV(w) }
+
+// ReadTrace loads a CSV trace written by WriteTrace.
+func ReadTrace(r io.Reader) (*Trace, error) { return workload.ReadCSV(r) }
+
+// ReadAzureInvocations parses the Microsoft Azure Functions production trace
+// format (per-function per-minute invocation counts) into a replayable
+// trace, for users with access to the proprietary dataset the paper uses.
+func ReadAzureInvocations(r io.Reader) (*Trace, error) {
+	return workload.ReadAzureInvocationsCSV(r)
+}
