@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build vet test race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# check is the pre-merge gate: static analysis, a full build, and the test
+# suite under the race detector (the gateway stress test needs it).
+check: vet build race

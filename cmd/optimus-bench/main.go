@@ -37,7 +37,7 @@ func main() {
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: optimus-bench [flags] <experiment>... | all")
 		fmt.Fprintln(os.Stderr, "experiments: fig2 fig3 fig4 fig5a fig5c fig8 fig11 fig12 fig13 fig14 fig15 fig16 table1")
-		fmt.Fprintln(os.Stderr, "ablations:   ablation-planner ablation-safeguard ablation-cache ablation-balancer ablation-idle ablation-online ablation-alloc sweep-nodes sweep-load")
+		fmt.Fprintln(os.Stderr, "ablations:   ablation-planner ablation-safeguard ablation-cache ablation-balancer ablation-idle ablation-online ablation-alloc sweep-nodes sweep-load chaos")
 		os.Exit(2)
 	}
 
@@ -50,7 +50,7 @@ func main() {
 	all := []string{"fig2", "fig3", "fig4", "fig5a", "fig5c", "fig8", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "table1",
 		"ablation-planner", "ablation-safeguard", "ablation-cache", "ablation-balancer", "ablation-idle",
-		"ablation-online", "ablation-alloc", "sweep-nodes", "sweep-load"}
+		"ablation-online", "ablation-alloc", "sweep-nodes", "sweep-load", "chaos"}
 	if len(args) == 1 && args[0] == "all" {
 		args = all
 	}
@@ -135,6 +135,9 @@ func main() {
 			out, result = r.Render(), r
 		case "sweep-load":
 			r := experiments.LoadSweep(o, nil, *horizon)
+			out, result = r.Render(), r
+		case "chaos":
+			r := experiments.Chaos(o, nil, *horizon)
 			out, result = r.Render(), r
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", a)

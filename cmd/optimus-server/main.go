@@ -11,13 +11,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/cost"
+	"repro/internal/faults"
 	"repro/internal/gateway"
 	"repro/internal/policy"
 	"repro/internal/repository"
@@ -34,6 +40,14 @@ func main() {
 		policyName = flag.String("policy", "optimus", "container policy: optimus|openwhisk|pagurus|tetris")
 		preload    = flag.Int("preload", 6, "preregister this many representative models (0 = none)")
 		modelsDir  = flag.String("models-dir", "", "persist registered models to this directory (reloaded on restart)")
+		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request handling timeout (0 = none)")
+		maxInfl    = flag.Int("max-inflight", 256, "max concurrent requests before shedding with 503 (0 = unbounded)")
+		drainTime  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
+		faultTrans = flag.Float64("fault-transform", 0, "probability a transformation aborts mid-flight")
+		faultLoad  = flag.Float64("fault-load", 0, "probability a from-scratch model load fails and restarts")
+		faultCrash = flag.Float64("fault-crash", 0, "per-request probability the serving container crashes")
+		faultOut   = flag.Float64("fault-outage", 0, "per-arrival probability the routed node goes down")
+		seed       = flag.Int64("seed", 1, "fault-injection seed")
 	)
 	flag.Parse()
 
@@ -70,8 +84,17 @@ func main() {
 			ContainersPerNode: *slots,
 			Profile:           prof,
 			Policy:            pol,
+			Seed:              *seed,
+			Faults: faults.Rates{
+				Transform: *faultTrans,
+				Load:      *faultLoad,
+				Crash:     *faultCrash,
+				Outage:    *faultOut,
+			},
 		},
-		Repository: store,
+		Repository:     store,
+		RequestTimeout: *reqTimeout,
+		MaxInflight:    *maxInfl,
 	})
 
 	if *preload > 0 {
@@ -106,5 +129,28 @@ func main() {
 	}
 	fmt.Printf("optimus-server listening on %s (policy=%s, %d nodes × %d containers, %s profile)\n",
 		*addr, *policyName, *nodes, *slots, prof.Name)
-	log.Fatal(srv.ListenAndServe())
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests before
+	// exiting so clients never see connections cut mid-response.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down, draining for up to %v", *drainTime)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTime)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+			_ = srv.Close()
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("server: %v", err)
+		}
+		log.Print("bye")
+	}
 }

@@ -6,6 +6,8 @@
 //
 //	optimus-sim -policy optimus -nodes 4 -containers 4 -workload azure -horizon 24h
 //	optimus-sim -policy openwhisk -workload poisson -functions 30
+//	optimus-sim -fault-transform 0.2 -fault-crash 0.02 -seed 3
+//	optimus-sim -chaos -quick
 package main
 
 import (
@@ -13,9 +15,13 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	optimus "repro"
+	"repro/internal/cost"
+	"repro/internal/experiments"
 )
 
 // traceFunctions lists a trace's distinct function names.
@@ -37,7 +43,15 @@ func main() {
 		ctrMB      = flag.Int("container-memory-mb", 0, "fixed container grant; 0 with node memory = fine-grained (§6)")
 		online     = flag.Float64("online-profiling", 0, "EWMA rate for online profile refinement (§6)")
 		profErr    = flag.Float64("profiling-error", 0, "relative error injected into offline profiling")
-		failRate   = flag.Float64("transform-failures", 0, "inject this fraction of failed transformations (fault tolerance demo)")
+		failRate   = flag.Float64("transform-failures", 0, "inject this fraction of failed transformations (alias for -fault-transform)")
+		faultTrans = flag.Float64("fault-transform", 0, "probability a transformation aborts mid-flight (safeguard fallback)")
+		faultLoad  = flag.Float64("fault-load", 0, "probability a from-scratch model load fails and restarts")
+		faultCrash = flag.Float64("fault-crash", 0, "per-request probability the serving container crashes")
+		faultOut   = flag.Float64("fault-outage", 0, "per-arrival probability the routed node goes down")
+		maxRetries = flag.Int("max-retries", 0, "crash re-dispatch budget per request (0 = default 2, negative = none)")
+		chaos      = flag.Bool("chaos", false, "run the chaos fault-rate sweep and exit")
+		chaosRates = flag.String("chaos-rates", "", "comma-separated fault rates for -chaos (default 0,0.05,0.1,0.2,0.4)")
+		quick      = flag.Bool("quick", false, "shrink the -chaos sweep for fast runs")
 		perFn      = flag.Int("per-function", 0, "print per-function stats for the N slowest functions")
 		saveTrace  = flag.String("save-trace", "", "write the generated workload to this CSV file")
 		loadTrace  = flag.String("load-trace", "", "replay a workload from this CSV file instead of generating one")
@@ -45,9 +59,35 @@ func main() {
 	)
 	flag.Parse()
 
+	if *chaos {
+		var rates []float64
+		if *chaosRates != "" {
+			for _, s := range strings.Split(*chaosRates, ",") {
+				r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bad -chaos-rates entry %q: %v\n", s, err)
+					os.Exit(2)
+				}
+				rates = append(rates, r)
+			}
+		}
+		o := experiments.Options{Seed: *seed, Quick: *quick}
+		if *gpu {
+			o.Profile = cost.GPU()
+		}
+		fmt.Println(experiments.Chaos(o, rates, *horizon).Render())
+		return
+	}
+
 	hw := optimus.CPU
 	if *gpu {
 		hw = optimus.GPU
+	}
+	rates := optimus.FaultRates{
+		Transform: *faultTrans,
+		Load:      *faultLoad,
+		Crash:     *faultCrash,
+		Outage:    *faultOut,
 	}
 	sys := optimus.NewSystem(optimus.SystemConfig{
 		Nodes:             *nodes,
@@ -62,6 +102,8 @@ func main() {
 		OnlineProfiling:   *online,
 		ProfilingError:    *profErr,
 		TransformFailures: *failRate,
+		Faults:            rates,
+		MaxRetries:        *maxRetries,
 	})
 
 	img, bert := optimus.Imgclsmob(), optimus.BERTZoo()
@@ -116,6 +158,8 @@ func main() {
 			OnlineProfiling:   *online,
 			ProfilingError:    *profErr,
 			TransformFailures: *failRate,
+			Faults:            rates,
+			MaxRetries:        *maxRetries,
 		})
 		img2 := optimus.Imgclsmob()
 		for i, fn := range traceFunctions(trace) {
@@ -173,6 +217,9 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(rep.Summary())
+	if fs := rep.FaultSummary(); fs != "" {
+		fmt.Println(fs)
+	}
 	br := rep.MeanBreakdown()
 	fmt.Printf("mean breakdown: wait %v, init %v, load %v, compute %v\n", br.Wait, br.Init, br.Load, br.Compute)
 	if *verify {

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/simulate"
+	"repro/internal/workload"
+)
+
+// Chaos experiment: sweep the fault-injection intensity and measure how
+// Optimus's transform-first strategy degrades. At intensity r, transforms
+// abort and from-scratch loads fail with probability r, containers crash
+// mid-request with probability r/10, and the routed node suffers an outage
+// with probability r/100 per arrival — a rough severity ordering of real
+// failure classes. Deterministic given the seed.
+
+// ChaosPoint is one fault-intensity measurement.
+type ChaosPoint struct {
+	// Rate is the injected transform/load failure probability.
+	Rate float64
+	// Served counts completed requests (dropped ones record no latency).
+	Served    int
+	Mean, P99 time.Duration
+	// Cold, Fallback and Transform are start-kind shares among served
+	// requests.
+	Cold, Fallback, Transform float64
+	// Faults tallies the injected failures and recoveries.
+	Faults metrics.FaultStats
+}
+
+// ChaosResult holds the per-rate degradation curve.
+type ChaosResult struct {
+	Points []ChaosPoint
+}
+
+// Chaos runs the fault-rate sweep under the Optimus policy (default rates
+// 0, 0.05, 0.1, 0.2, 0.4) over a shared Poisson workload.
+func Chaos(o Options, rates []float64, horizon time.Duration) ChaosResult {
+	o = o.withDefaults()
+	if len(rates) == 0 {
+		rates = []float64{0, 0.05, 0.1, 0.2, 0.4}
+	}
+	if horizon <= 0 {
+		horizon = 24 * time.Hour
+	}
+	if o.Quick && horizon > 6*time.Hour {
+		horizon = 6 * time.Hour
+	}
+	fns := DefaultFunctionSet(o.Quick)
+	names := make([]string, len(fns))
+	for i, f := range fns {
+		names[i] = f.Name
+	}
+	tr := workload.MixedPoisson(names, horizon, o.Seed)
+
+	var res ChaosResult
+	for _, r := range rates {
+		sim := simulate.New(simulate.Config{
+			Policy:            policy.Optimus{},
+			Nodes:             4,
+			ContainersPerNode: 4,
+			Profile:           o.Profile,
+			Seed:              o.Seed,
+			Faults: faults.Rates{
+				Transform: r,
+				Load:      r,
+				Crash:     r / 10,
+				Outage:    r / 100,
+			},
+		}, fns)
+		col, err := sim.Run(tr)
+		if err != nil {
+			panic(err)
+		}
+		fr := col.KindFractions()
+		res.Points = append(res.Points, ChaosPoint{
+			Rate:      r,
+			Served:    col.Len(),
+			Mean:      col.MeanLatency(),
+			P99:       col.Percentile(99),
+			Cold:      fr[metrics.StartCold],
+			Fallback:  fr[metrics.StartFallback],
+			Transform: fr[metrics.StartTransform],
+			Faults:    col.Faults,
+		})
+	}
+	return res
+}
+
+// Render prints the degradation curve.
+func (r ChaosResult) Render() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", p.Rate),
+			fmt.Sprint(p.Served),
+			ms(p.Mean), ms(p.P99),
+			pct(p.Cold), pct(p.Fallback), pct(p.Transform),
+			fmt.Sprint(p.Faults.Retries), fmt.Sprint(p.Faults.Dropped),
+		})
+	}
+	return "Extension: chaos sweep (transform/load failures at rate, crashes at rate/10, outages at rate/100)\n" +
+		table([]string{"rate", "served", "mean(ms)", "p99(ms)", "cold", "fallback", "transform", "retries", "dropped"}, rows)
+}

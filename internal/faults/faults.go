@@ -1,0 +1,141 @@
+// Package faults is a seeded, deterministic fault-injection layer for the
+// cluster simulator and gateway. An Injector is configured with per-event
+// failure probabilities and driven by a single PRNG, so a run with a fixed
+// seed and fixed rates reproduces the exact same fault sequence — chaos
+// experiments stay replayable and regressions bisectable.
+//
+// Determinism contract: Fire draws from the PRNG only when the queried
+// event's rate is nonzero. Enabling one event therefore never perturbs the
+// fault sequence of another, and a run with every rate at zero consumes no
+// randomness at all (it is byte-identical to a run without the injector).
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Event enumerates the failure classes the injector can trigger.
+type Event int
+
+const (
+	// Transform is a meta-operator transformation aborting mid-flight; the
+	// victim recovers through the safeguard path (load from scratch,
+	// charging the wasted partial-transform time).
+	Transform Event = iota
+	// Load is a from-scratch model load failing partway and restarting
+	// inside the same container.
+	Load
+	// Crash is a container dying while serving a request; the request is
+	// re-dispatched with a bounded retry budget.
+	Crash
+	// Outage is a worker node going down: its containers are lost and its
+	// queued and in-flight requests are re-dispatched elsewhere.
+	Outage
+	eventCount
+)
+
+// String names the event.
+func (e Event) String() string {
+	switch e {
+	case Transform:
+		return "transform"
+	case Load:
+		return "load"
+	case Crash:
+		return "crash"
+	case Outage:
+		return "outage"
+	default:
+		return fmt.Sprintf("event(%d)", int(e))
+	}
+}
+
+// Rates holds the per-event failure probabilities, each in [0, 1]. The zero
+// value disables injection entirely.
+type Rates struct {
+	// Transform is the probability a transformation aborts mid-flight.
+	Transform float64
+	// Load is the probability a from-scratch model load fails and restarts.
+	Load float64
+	// Crash is the per-request probability the serving container dies.
+	Crash float64
+	// Outage is the per-arrival probability the routed node goes down.
+	Outage float64
+}
+
+// Enabled reports whether any rate is nonzero.
+func (r Rates) Enabled() bool {
+	return r.Transform > 0 || r.Load > 0 || r.Crash > 0 || r.Outage > 0
+}
+
+func (r Rates) rate(e Event) float64 {
+	switch e {
+	case Transform:
+		return r.Transform
+	case Load:
+		return r.Load
+	case Crash:
+		return r.Crash
+	case Outage:
+		return r.Outage
+	default:
+		return 0
+	}
+}
+
+// Injector draws fault decisions from a seeded PRNG. A nil *Injector is
+// valid and never fires, so callers thread it without nil checks. Injector
+// is not safe for concurrent use; the simulator calls it under its own lock.
+type Injector struct {
+	rng    *rand.Rand
+	rates  Rates
+	counts [eventCount]int
+}
+
+// New returns an injector for the given seed and rates, or nil when every
+// rate is zero (injection disabled).
+func New(seed int64, r Rates) *Injector {
+	if !r.Enabled() {
+		return nil
+	}
+	return &Injector{rng: rand.New(rand.NewSource(seed)), rates: r}
+}
+
+// Fire reports whether the event fails this time. It consumes randomness
+// only when the event's rate is nonzero (see the package determinism
+// contract) and tallies fired faults.
+func (i *Injector) Fire(e Event) bool {
+	if i == nil {
+		return false
+	}
+	rate := i.rates.rate(e)
+	if rate <= 0 {
+		return false
+	}
+	if i.rng.Float64() >= rate {
+		return false
+	}
+	i.counts[e]++
+	return true
+}
+
+// Count returns how many times the event has fired.
+func (i *Injector) Count(e Event) int {
+	if i == nil || e < 0 || e >= eventCount {
+		return 0
+	}
+	return i.counts[e]
+}
+
+// Total returns the number of faults fired across all events.
+func (i *Injector) Total() int {
+	if i == nil {
+		return 0
+	}
+	t := 0
+	for _, c := range i.counts {
+		t += c
+	}
+	return t
+}

@@ -1,0 +1,92 @@
+package faults
+
+import "testing"
+
+func TestNilAndDisabledInjectorNeverFire(t *testing.T) {
+	var nilInj *Injector
+	for e := Event(0); e < eventCount; e++ {
+		if nilInj.Fire(e) {
+			t.Errorf("nil injector fired %v", e)
+		}
+	}
+	if nilInj.Total() != 0 || nilInj.Count(Crash) != 0 {
+		t.Error("nil injector has nonzero counts")
+	}
+	if New(1, Rates{}) != nil {
+		t.Error("zero rates should yield a nil injector")
+	}
+	if (Rates{}).Enabled() {
+		t.Error("zero rates reported enabled")
+	}
+}
+
+func TestZeroRateEventConsumesNoRandomness(t *testing.T) {
+	// Two injectors with the same seed: one is also asked about an event
+	// whose rate is zero. The fault sequence for the nonzero event must be
+	// identical — zero-rate queries must not advance the PRNG.
+	a := New(7, Rates{Transform: 0.5})
+	b := New(7, Rates{Transform: 0.5})
+	for i := 0; i < 1000; i++ {
+		b.Fire(Crash) // rate 0: must be a no-op
+		if a.Fire(Transform) != b.Fire(Transform) {
+			t.Fatalf("fault sequences diverged at draw %d", i)
+		}
+	}
+	if b.Count(Crash) != 0 {
+		t.Errorf("zero-rate event fired %d times", b.Count(Crash))
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func(seed int64) []bool {
+		inj := New(seed, Rates{Transform: 0.3, Crash: 0.1})
+		out := make([]bool, 0, 2000)
+		for i := 0; i < 1000; i++ {
+			out = append(out, inj.Fire(Transform), inj.Fire(Crash))
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault sequences")
+	}
+}
+
+func TestFireFrequencyTracksRate(t *testing.T) {
+	inj := New(1, Rates{Load: 0.25})
+	const n = 20000
+	for i := 0; i < n; i++ {
+		inj.Fire(Load)
+	}
+	got := float64(inj.Count(Load)) / n
+	if got < 0.22 || got > 0.28 {
+		t.Errorf("rate 0.25 fired %.3f of draws", got)
+	}
+	if inj.Total() != inj.Count(Load) {
+		t.Errorf("Total %d != Count %d", inj.Total(), inj.Count(Load))
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	for e, want := range map[Event]string{Transform: "transform", Load: "load", Crash: "crash", Outage: "outage"} {
+		if e.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(e), e.String(), want)
+		}
+	}
+	if Event(99).String() != "event(99)" {
+		t.Errorf("unknown event string = %q", Event(99).String())
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metaop"
@@ -31,6 +32,15 @@ import (
 	"repro/internal/policy"
 	"repro/internal/repository"
 	"repro/internal/simulate"
+)
+
+// Sentinel errors callers (and the HTTP layer) can test with errors.Is to
+// pick the right status code.
+var (
+	// ErrDuplicateModel rejects registering a name twice (409).
+	ErrDuplicateModel = errors.New("model already registered")
+	// ErrUnknownModel rejects operations on unregistered names (404).
+	ErrUnknownModel = errors.New("unknown model")
 )
 
 // Config parameterizes the gateway.
@@ -44,6 +54,13 @@ type Config struct {
 	// preloads the models already stored there (§7: the paper deploys
 	// models to a Docker volume; this is the equivalent store).
 	Repository *repository.Store
+	// RequestTimeout bounds each request's handling time; responses past
+	// it are 503s. Zero disables the timeout.
+	RequestTimeout time.Duration
+	// MaxInflight bounds concurrently handled requests: beyond it the
+	// gateway sheds load with 503 + Retry-After instead of queueing
+	// unboundedly. Zero means no bound.
+	MaxInflight int
 }
 
 // Gateway is the HTTP control plane.
@@ -53,6 +70,14 @@ type Gateway struct {
 	now    func() time.Duration
 	models map[string]*model.Graph
 	store  *repository.Store
+
+	timeout time.Duration
+	// inflight, when non-nil, is the admission semaphore bounding
+	// concurrent requests; shed and panics count load-shed responses and
+	// recovered handler panics for /api/stats.
+	inflight chan struct{}
+	shed     atomic.Int64
+	panics   atomic.Int64
 }
 
 // New builds a gateway with no registered models.
@@ -66,10 +91,14 @@ func New(cfg Config) *Gateway {
 		cfg.Cluster.Policy = policy.Optimus{}
 	}
 	g := &Gateway{
-		online: simulate.NewOnline(cfg.Cluster, nil),
-		now:    now,
-		models: make(map[string]*model.Graph),
-		store:  cfg.Repository,
+		online:  simulate.NewOnline(cfg.Cluster, nil),
+		now:     now,
+		models:  make(map[string]*model.Graph),
+		store:   cfg.Repository,
+		timeout: cfg.RequestTimeout,
+	}
+	if cfg.MaxInflight > 0 {
+		g.inflight = make(chan struct{}, cfg.MaxInflight)
 	}
 	if g.store != nil {
 		for _, name := range g.store.Names() {
@@ -82,7 +111,9 @@ func New(cfg Config) *Gateway {
 	return g
 }
 
-// Handler returns the gateway's HTTP handler.
+// Handler returns the gateway's HTTP handler, wrapped in the hardening
+// middleware stack: per-request timeout around panic recovery around
+// bounded-admission load shedding.
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -94,7 +125,48 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/api/plan", g.handlePlan)
 	mux.HandleFunc("/api/stats", g.handleStats)
 	mux.HandleFunc("/api/cluster", g.handleCluster)
-	return mux
+
+	var h http.Handler = mux
+	h = g.shedLoad(h)
+	h = g.recoverPanics(h)
+	if g.timeout > 0 {
+		h = http.TimeoutHandler(h, g.timeout, `{"error":"request timed out"}`)
+	}
+	return h
+}
+
+// recoverPanics converts handler panics into 500s instead of killing the
+// connection (and, with http.Server, leaking a broken keep-alive).
+func (g *Gateway) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				g.panics.Add(1)
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// shedLoad admits at most MaxInflight concurrent requests; the rest are
+// answered immediately with 503 + Retry-After so clients back off instead
+// of piling onto a saturated gateway.
+func (g *Gateway) shedLoad(next http.Handler) http.Handler {
+	if g.inflight == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case g.inflight <- struct{}{}:
+			defer func() { <-g.inflight }()
+			next.ServeHTTP(w, r)
+		default:
+			g.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, errors.New("gateway saturated, retry later"))
+		}
+	})
 }
 
 // RegisterModel adds a model programmatically (same path as POST
@@ -108,7 +180,7 @@ func (g *Gateway) RegisterModel(m *model.Graph) error {
 	g.mu.Lock()
 	if _, dup := g.models[m.Name]; dup {
 		g.mu.Unlock()
-		return fmt.Errorf("gateway: model %q already registered", m.Name)
+		return fmt.Errorf("gateway: model %q: %w", m.Name, ErrDuplicateModel)
 	}
 	g.models[m.Name] = m
 	existing := make([]*model.Graph, 0, len(g.models))
@@ -119,16 +191,21 @@ func (g *Gateway) RegisterModel(m *model.Graph) error {
 	}
 	g.mu.Unlock()
 
+	if g.store != nil {
+		// Persist before going live: if the store rejects the model the
+		// registration is rolled back, keeping gateway and store agreed.
+		if err := g.store.Put(m); err != nil {
+			g.mu.Lock()
+			delete(g.models, m.Name)
+			g.mu.Unlock()
+			return fmt.Errorf("gateway: persisting %s: %w", m.Name, err)
+		}
+	}
 	g.online.AddFunction(&simulate.Function{Name: m.Name, Model: m})
 	env := g.online.Env()
 	for _, other := range existing {
 		env.Plans.GetOrPlan(env.Planner, other, m)
 		env.Plans.GetOrPlan(env.Planner, m, other)
-	}
-	if g.store != nil {
-		if err := g.store.Put(m); err != nil {
-			return fmt.Errorf("gateway: persisting %s: %w", m.Name, err)
-		}
 	}
 	return nil
 }
@@ -150,7 +227,13 @@ func (g *Gateway) handleModels(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err := g.RegisterModel(&m); err != nil {
-			writeError(w, http.StatusConflict, err)
+			// Only a duplicate registration is a conflict; a model that
+			// fails validation is the client's bad request.
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrDuplicateModel) {
+				status = http.StatusConflict
+			}
+			writeError(w, status, err)
 			return
 		}
 		st := m.Stats()
@@ -176,7 +259,11 @@ func (g *Gateway) handleModelByName(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m)
 	case http.MethodDelete:
 		if err := g.UnregisterModel(name); err != nil {
-			writeError(w, http.StatusNotFound, err)
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrUnknownModel) {
+				status = http.StatusNotFound
+			}
+			writeError(w, status, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
@@ -187,20 +274,21 @@ func (g *Gateway) handleModelByName(w http.ResponseWriter, r *http.Request) {
 
 // UnregisterModel removes a model from the gateway. In-flight containers
 // holding it keep running until the keep-alive recycles them; new requests
-// for the name are rejected.
+// for the name are rejected. The store is updated first: if the delete
+// fails the model stays registered, so store and gateway never disagree.
 func (g *Gateway) UnregisterModel(name string) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if _, ok := g.models[name]; !ok {
-		return fmt.Errorf("gateway: unknown model %q", name)
+		return fmt.Errorf("gateway: model %q: %w", name, ErrUnknownModel)
+	}
+	if g.store != nil {
+		if err := g.store.Delete(name); err != nil {
+			return fmt.Errorf("gateway: removing %s from store: %w", name, err)
+		}
 	}
 	delete(g.models, name)
 	g.online.RemoveFunction(name)
-	if g.store != nil {
-		if err := g.store.Delete(name); err != nil {
-			return err
-		}
-	}
 	return nil
 }
 
@@ -209,6 +297,7 @@ type clusterNode struct {
 	ID         int                `json:"id"`
 	Containers []clusterContainer `json:"containers"`
 	UsedMB     int                `json:"used_mb,omitempty"`
+	Down       bool               `json:"down,omitempty"`
 }
 
 type clusterContainer struct {
@@ -227,7 +316,7 @@ func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
 	nodes := g.online.Snapshot(now)
 	out := make([]clusterNode, 0, len(nodes))
 	for _, n := range nodes {
-		cn := clusterNode{ID: n.ID, UsedMB: n.UsedMB()}
+		cn := clusterNode{ID: n.ID, UsedMB: n.UsedMB(), Down: n.Down(now)}
 		for _, c := range n.Containers {
 			cn.Containers = append(cn.Containers, clusterContainer{
 				Function: c.Fn.Name,
@@ -256,6 +345,7 @@ type invokeResponse struct {
 	LoadMS    float64 `json:"load_ms"`
 	ComputeMS float64 `json:"compute_ms"`
 	LatencyMS float64 `json:"latency_ms"`
+	Retries   int     `json:"retries,omitempty"`
 }
 
 func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
@@ -274,6 +364,13 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	}
 	rec, err := g.online.Invoke(req.Model, g.now())
 	if err != nil {
+		if errors.Is(err, simulate.ErrRequestDropped) {
+			// Injected crashes exhausted the retry budget: a retryable
+			// service failure, not a missing model.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
@@ -285,6 +382,7 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		LoadMS:    msF(rec.Load),
 		ComputeMS: msF(rec.Compute),
 		LatencyMS: msF(rec.Latency()),
+		Retries:   rec.Retries,
 	})
 }
 
@@ -324,17 +422,33 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
 		return
 	}
-	col := g.online.Collector()
-	fr := col.KindFractions()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"requests":           col.Len(),
-		"mean_latency_ms":    msF(col.MeanLatency()),
-		"p50_ms":             msF(col.Percentile(50)),
-		"p99_ms":             msF(col.Percentile(99)),
-		"warm_fraction":      fr[metrics.StartWarm],
-		"transform_fraction": fr[metrics.StartTransform],
-		"cold_fraction":      fr[metrics.StartCold],
+	var out map[string]any
+	// Aggregates are computed under the server lock so they are consistent
+	// with concurrent invocations.
+	g.online.ReadCollector(func(col *metrics.Collector) {
+		fr := col.KindFractions()
+		out = map[string]any{
+			"requests":           col.Len(),
+			"mean_latency_ms":    msF(col.MeanLatency()),
+			"p50_ms":             msF(col.Percentile(50)),
+			"p99_ms":             msF(col.Percentile(99)),
+			"warm_fraction":      fr[metrics.StartWarm],
+			"transform_fraction": fr[metrics.StartTransform],
+			"cold_fraction":      fr[metrics.StartCold],
+			"fallback_fraction":  fr[metrics.StartFallback],
+			"faults": map[string]int{
+				"transform_fallbacks": col.Faults.TransformFallbacks,
+				"load_retries":        col.Faults.LoadRetries,
+				"crashes":             col.Faults.Crashes,
+				"outages":             col.Faults.Outages,
+				"retries":             col.Faults.Retries,
+				"dropped":             col.Faults.Dropped,
+			},
+		}
 	})
+	out["shed"] = g.shed.Load()
+	out["panics_recovered"] = g.panics.Load()
+	writeJSON(w, http.StatusOK, out)
 }
 
 func msF(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -3,23 +3,26 @@ package gateway
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/repository"
 	"repro/internal/simulate"
 	"repro/internal/zoo"
 )
 
-// fakeClock provides a controllable now().
-type fakeClock struct{ t time.Duration }
+// fakeClock provides a controllable now(), safe for concurrent advance.
+type fakeClock struct{ t atomic.Int64 }
 
-func (f *fakeClock) now() time.Duration      { return f.t }
-func (f *fakeClock) advance(d time.Duration) { f.t += d }
+func (f *fakeClock) now() time.Duration      { return time.Duration(f.t.Load()) }
+func (f *fakeClock) advance(d time.Duration) { f.t.Add(int64(d)) }
 
 func newTestGateway(t *testing.T) (*Gateway, *httptest.Server, *fakeClock) {
 	t.Helper()
@@ -370,5 +373,237 @@ func TestGatewayPersistence(t *testing.T) {
 	}
 	if store2.Len() != 0 {
 		t.Error("unregister left the model on disk")
+	}
+}
+
+// TestRegisterInvalidModel: a model that decodes but fails validation is the
+// client's bad request (400), not a conflict.
+func TestRegisterInvalidModel(t *testing.T) {
+	_, srv, _ := newTestGateway(t)
+	resp, body := post(t, srv.URL+"/api/models", map[string]any{"name": "empty"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid model register = %d %v, want 400", resp.StatusCode, body)
+	}
+}
+
+func TestLoadShedding(t *testing.T) {
+	clock := &fakeClock{}
+	g := New(Config{
+		Cluster:     simulate.Config{Nodes: 1, ContainersPerNode: 2},
+		Now:         clock.now,
+		MaxInflight: 1,
+	})
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	// Occupy the only admission slot; the next request must be shed.
+	g.inflight <- struct{}{}
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated request = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	if g.shed.Load() != 1 {
+		t.Errorf("shed counter = %d", g.shed.Load())
+	}
+	<-g.inflight // release: service resumes
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-release request = %d", resp.StatusCode)
+	}
+	// The shed count is visible on /api/stats.
+	_, stats := get(t, srv.URL+"/api/stats")
+	if stats["shed"].(float64) != 1 {
+		t.Errorf("stats shed = %v", stats["shed"])
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	g, _, _ := newTestGateway(t)
+	h := g.recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/stats", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("panicking handler = %d, want 500", rec.Code)
+	}
+	if g.panics.Load() != 1 {
+		t.Errorf("panics counter = %d", g.panics.Load())
+	}
+}
+
+func TestRequestTimeoutApplied(t *testing.T) {
+	clock := &fakeClock{}
+	g := New(Config{
+		Cluster:        simulate.Config{Nodes: 1, ContainersPerNode: 2},
+		Now:            clock.now,
+		RequestTimeout: 50 * time.Millisecond,
+	})
+	// The timeout wraps the whole stack; a handler that outlives it gets a
+	// 503 from http.TimeoutHandler. Exercise it with a deliberately slow
+	// inner handler spliced into the same middleware shape.
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(5 * time.Second):
+		}
+	})
+	h := http.TimeoutHandler(g.recoverPanics(slow), g.timeout, `{"error":"request timed out"}`)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("timed-out request = %d, want 503", resp.StatusCode)
+	}
+	// The real handler still answers fast requests under the timeout.
+	srv2 := httptest.NewServer(g.Handler())
+	defer srv2.Close()
+	resp, err = http.Get(srv2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("fast request under timeout = %d", resp.StatusCode)
+	}
+}
+
+// TestInvokeDroppedIs503: a request that exhausts its crash-retry budget maps
+// to a retryable 503, not a 404.
+func TestInvokeDroppedIs503(t *testing.T) {
+	clock := &fakeClock{}
+	g := New(Config{
+		Cluster: simulate.Config{
+			Nodes: 1, ContainersPerNode: 2,
+			Faults:     faults.Rates{Crash: 1},
+			MaxRetries: -1,
+		},
+		Now: clock.now,
+	})
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	if err := g.RegisterModel(zoo.Imgclsmob().MustGet("resnet18-imagenet")); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := post(t, srv.URL+"/api/invoke", map[string]string{"model": "resnet18-imagenet"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("dropped invoke = %d %v, want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("dropped invoke missing Retry-After")
+	}
+	_, stats := get(t, srv.URL+"/api/stats")
+	faultMap := stats["faults"].(map[string]any)
+	if faultMap["dropped"].(float64) != 1 || faultMap["crashes"].(float64) != 1 {
+		t.Errorf("stats faults = %v", faultMap)
+	}
+}
+
+// TestGatewayStress hammers every mutating and reading endpoint from parallel
+// goroutines; run under -race this is the regression test for the
+// snapshot/stats/registration data races.
+func TestGatewayStress(t *testing.T) {
+	clock := &fakeClock{}
+	g := New(Config{
+		Cluster:        simulate.Config{Nodes: 2, ContainersPerNode: 2},
+		Now:            clock.now,
+		MaxInflight:    64,
+		RequestTimeout: 5 * time.Second,
+	})
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	img := zoo.Imgclsmob()
+	if err := g.RegisterModel(img.MustGet("resnet18-imagenet")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RegisterModel(img.MustGet("resnet34-imagenet")); err != nil {
+		t.Fatal(err)
+	}
+	churn := img.MustGet("mobilenet-w1-imagenet")
+
+	const (
+		workers = 8
+		iters   = 40
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters)
+	do := func(f func(i int) error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := f(i); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < workers/2; w++ {
+		do(func(i int) error { // invokers
+			name := "resnet18-imagenet"
+			if i%2 == 1 {
+				name = "resnet34-imagenet"
+			}
+			raw, _ := json.Marshal(map[string]string{"model": name})
+			resp, err := http.Post(srv.URL+"/api/invoke", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+				return fmt.Errorf("invoke status %d", resp.StatusCode)
+			}
+			return nil
+		})
+	}
+	do(func(int) error { // cluster readers race the invokers
+		resp, err := http.Get(srv.URL + "/api/cluster")
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		return nil
+	})
+	do(func(int) error { // stats readers race the collector
+		resp, err := http.Get(srv.URL + "/api/stats")
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		return nil
+	})
+	do(func(int) error { // registration churn races both
+		if err := g.RegisterModel(churn); err != nil && !errors.Is(err, ErrDuplicateModel) {
+			return err
+		}
+		if err := g.UnregisterModel(churn.Name); err != nil && !errors.Is(err, ErrUnknownModel) {
+			return err
+		}
+		return nil
+	})
+	do(func(int) error { // clock keeps moving under everything
+		clock.advance(250 * time.Millisecond)
+		return nil
+	})
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

@@ -23,6 +23,10 @@ const (
 	StartTransform
 	// StartCold created a container from scratch.
 	StartCold
+	// StartFallback repurposed a container but the transformation failed
+	// mid-flight, so the model was loaded from scratch instead — the
+	// safeguard's recovery path, charging the wasted partial transform.
+	StartFallback
 	startKindCount
 )
 
@@ -35,6 +39,8 @@ func (k StartKind) String() string {
 		return "transform"
 	case StartCold:
 		return "cold"
+	case StartFallback:
+		return "fallback"
 	default:
 		return fmt.Sprintf("startkind(%d)", uint8(k))
 	}
@@ -49,6 +55,9 @@ type Record struct {
 	Arrival, Start, End time.Duration
 	// Breakdown of the service latency.
 	Wait, Init, Load, Compute time.Duration
+	// Retries counts how many times the request was re-dispatched after a
+	// container crash or node outage before this (successful) service.
+	Retries int
 }
 
 // Latency is the user-visible service time: waiting plus initialization plus
@@ -56,9 +65,37 @@ type Record struct {
 // computation time, and wait time").
 func (r Record) Latency() time.Duration { return r.End - r.Arrival }
 
+// FaultStats tallies injected failures and their recoveries over a run
+// (package faults describes the failure model).
+type FaultStats struct {
+	// TransformFallbacks counts transformations that aborted mid-flight and
+	// recovered through the safeguard path (StartFallback records).
+	TransformFallbacks int
+	// LoadRetries counts from-scratch model loads that failed partway and
+	// restarted inside the same container.
+	LoadRetries int
+	// Crashes counts containers that died while serving a request.
+	Crashes int
+	// Outages counts node failures.
+	Outages int
+	// Retries counts request re-dispatches after a crash or outage.
+	Retries int
+	// Dropped counts requests abandoned after exhausting their retry
+	// budget; dropped requests contribute no latency record.
+	Dropped int
+}
+
+// Any reports whether any fault was recorded.
+func (f FaultStats) Any() bool {
+	return f.TransformFallbacks > 0 || f.LoadRetries > 0 || f.Crashes > 0 ||
+		f.Outages > 0 || f.Retries > 0 || f.Dropped > 0
+}
+
 // Collector accumulates request records.
 type Collector struct {
 	records []Record
+	// Faults tallies injected failures observed during the run.
+	Faults FaultStats
 }
 
 // Add appends a record.

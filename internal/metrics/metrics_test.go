@@ -18,8 +18,27 @@ func TestStartKindString(t *testing.T) {
 	if StartWarm.String() != "warm" || StartTransform.String() != "transform" || StartCold.String() != "cold" {
 		t.Error("kind names wrong")
 	}
+	if StartFallback.String() != "fallback" {
+		t.Error("fallback kind name wrong")
+	}
 	if StartKind(9).String() == "" {
 		t.Error("unknown kind should render")
+	}
+}
+
+func TestFaultStats(t *testing.T) {
+	var c Collector
+	if c.Faults.Any() {
+		t.Error("fresh collector reports faults")
+	}
+	c.Faults.Crashes++
+	c.Faults.Retries++
+	if !c.Faults.Any() {
+		t.Error("recorded faults not reported")
+	}
+	c.Add(rec("f", StartFallback, 0, time.Second))
+	if c.KindFractions()[StartFallback] != 1 {
+		t.Errorf("fallback fraction = %v", c.KindFractions())
 	}
 }
 

@@ -3,11 +3,11 @@ package simulate
 import (
 	"container/heap"
 	"fmt"
-	"math/rand"
 	"sort"
 	"time"
 
 	"repro/internal/cost"
+	"repro/internal/faults"
 	"repro/internal/metaop"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -58,7 +58,22 @@ type Config struct {
 	// transformations fail halfway and recover by loading the destination
 	// model from scratch in the same container. Exercises the robustness of
 	// the recovery path; zero (default) disables injection.
+	//
+	// Deprecated: set Faults.Transform instead; this field is folded into
+	// it and kept for callers of the original single-fault API.
 	TransformFailureRate float64
+	// Faults configures deterministic multi-event fault injection
+	// (transform aborts, failed loads, container crashes, node outages);
+	// see package faults. The zero value disables injection, leaving the
+	// simulation byte-identical to a run without the injector.
+	Faults faults.Rates
+	// MaxRetries bounds how many times a request whose container crashed
+	// (or whose node failed) is re-dispatched before being dropped.
+	// Zero means the default (2); negative disables retries entirely.
+	MaxRetries int
+	// OutageDuration is how long a failed node stays down before routing
+	// considers it again (default 30 s).
+	OutageDuration time.Duration
 }
 
 // memoryMode derives the allocation mode from the config.
@@ -89,6 +104,18 @@ func (c Config) withDefaults() Config {
 	if c.Profile == nil {
 		c.Profile = cost.CPU()
 	}
+	if c.TransformFailureRate > 0 && c.Faults.Transform == 0 {
+		c.Faults.Transform = c.TransformFailureRate
+	}
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = 2
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
+	}
+	if c.OutageDuration <= 0 {
+		c.OutageDuration = 30 * time.Second
+	}
 	return c
 }
 
@@ -111,8 +138,8 @@ type Simulator struct {
 	lastArrival map[string]time.Duration
 	meanGap     map[string]time.Duration
 
-	est    *cost.Estimator
-	faults *rand.Rand
+	est *cost.Estimator
+	inj *faults.Injector
 	// TransformsFailed counts injected transformation failures.
 	TransformsFailed int
 }
@@ -146,9 +173,7 @@ func New(cfg Config, fns []*Function) *Simulator {
 	}
 	s.lastArrival = make(map[string]time.Duration)
 	s.meanGap = make(map[string]time.Duration)
-	if cfg.TransformFailureRate > 0 {
-		s.faults = rand.New(rand.NewSource(cfg.Seed ^ 0x5f3759df))
-	}
+	s.inj = faults.New(cfg.Seed^0x5f3759df, cfg.Faults)
 	s.env.MeanInterArrival = func(fn string) (time.Duration, bool) {
 		g, ok := s.meanGap[fn]
 		return g, ok
@@ -222,8 +247,60 @@ func (s *Simulator) schedule(at time.Duration, fn func()) {
 // arrive routes a new request to a node and tries to serve it.
 func (s *Simulator) arrive(fn *Function, arrival time.Duration) {
 	s.observeArrival(fn, arrival)
+	if s.inj.Fire(faults.Outage) {
+		s.failNode(s.route(fn))
+	}
+	s.dispatch(fn, arrival, 0)
+}
+
+// dispatch routes a (possibly retried) request. When every candidate node is
+// down it parks the request until the earliest recovery.
+func (s *Simulator) dispatch(fn *Function, arrival time.Duration, retries int) {
 	node := s.route(fn)
-	s.serveOrQueue(node, fn, arrival)
+	if node.Down(s.clock) {
+		at := node.DownUntil
+		for _, n := range s.candidates(fn) {
+			if n.DownUntil < at {
+				at = n.DownUntil
+			}
+		}
+		s.schedule(at, func() { s.dispatch(fn, arrival, retries) })
+		return
+	}
+	s.serveOrQueue(node, fn, arrival, retries)
+}
+
+// failNode takes a node down for the configured outage duration: resident
+// containers are lost, and queued plus in-flight requests are re-dispatched
+// to the surviving nodes within their retry budgets.
+func (s *Simulator) failNode(n *Node) {
+	n.DownUntil = s.clock + s.cfg.OutageDuration
+	s.collector.Faults.Outages++
+	lost := n.Containers
+	n.Containers = nil
+	requeue := n.queue
+	n.queue = nil
+	for _, c := range lost {
+		c.dead = true
+		if c.serving != nil {
+			s.retryOrDrop(*c.serving)
+			c.serving = nil
+		}
+	}
+	for _, q := range requeue {
+		s.dispatch(q.fn, q.arrival, q.retries)
+	}
+}
+
+// retryOrDrop re-dispatches a request whose container was lost, or drops it
+// once the retry budget is exhausted.
+func (s *Simulator) retryOrDrop(in inflight) {
+	if in.retries >= s.cfg.MaxRetries {
+		s.collector.Faults.Dropped++
+		return
+	}
+	s.collector.Faults.Retries++
+	s.dispatch(in.fn, in.arrival, in.retries+1)
 }
 
 // route picks the best candidate node for fn: a warm idle container wins,
@@ -271,6 +348,7 @@ func (s *Simulator) busyCount(n *Node, now time.Duration) int {
 }
 
 func (s *Simulator) candidates(fn *Function) []*Node {
+	base := s.nodes
 	if ids, ok := s.cfg.Placement[fn.Name]; ok && len(ids) > 0 {
 		out := make([]*Node, 0, len(ids))
 		for _, id := range ids {
@@ -279,21 +357,60 @@ func (s *Simulator) candidates(fn *Function) []*Node {
 			}
 		}
 		if len(out) > 0 {
-			return out
+			base = out
 		}
 	}
-	return s.nodes
+	// Route around failed nodes; when the whole candidate set is down the
+	// caller waits for the earliest recovery.
+	up := base
+	for i, n := range base {
+		if n.Down(s.clock) {
+			up = make([]*Node, 0, len(base))
+			up = append(up, base[:i]...)
+			for _, m := range base[i+1:] {
+				if !m.Down(s.clock) {
+					up = append(up, m)
+				}
+			}
+			break
+		}
+	}
+	if len(up) == 0 {
+		return base
+	}
+	return up
 }
 
-func (s *Simulator) serveOrQueue(node *Node, fn *Function, arrival time.Duration) {
-	if !s.serve(node, fn, arrival) {
-		node.queue = append(node.queue, queued{fn: fn, arrival: arrival})
+func (s *Simulator) serveOrQueue(node *Node, fn *Function, arrival time.Duration, retries int) {
+	if !s.serve(node, fn, arrival, retries) {
+		node.queue = append(node.queue, queued{fn: fn, arrival: arrival, retries: retries})
 	}
+}
+
+// injectFaults applies transform-abort and load-failure faults to a policy
+// decision, returning the (possibly degraded) decision.
+func (s *Simulator) injectFaults(d Decision, fn *Function) Decision {
+	if d.Kind == metrics.StartTransform && d.Reuse != nil && s.inj.Fire(faults.Transform) {
+		// The transformation aborts halfway through and the container
+		// recovers by discarding the partial state and loading the
+		// destination model from scratch (the safeguard's recovery path).
+		d.Load = d.Load/2 + s.env.Profile.ModelLoad(fn.Model).Total()
+		d.Kind = metrics.StartFallback
+		s.TransformsFailed++
+		s.collector.Faults.TransformFallbacks++
+	}
+	if (d.Kind == metrics.StartCold || d.Kind == metrics.StartFallback) && s.inj.Fire(faults.Load) {
+		// The from-scratch load dies partway in and restarts: half the
+		// attempted load is wasted, then the full load runs again.
+		d.Load += d.Load / 2
+		s.collector.Faults.LoadRetries++
+	}
+	return d
 }
 
 // serve asks the policy for a decision and, if possible, executes it:
 // charging latencies, occupying the container, and scheduling completion.
-func (s *Simulator) serve(node *Node, fn *Function, arrival time.Duration) bool {
+func (s *Simulator) serve(node *Node, fn *Function, arrival time.Duration, retries int) bool {
 	now := s.clock
 	node.EvictExpired(now, s.env.KeepAlive)
 	d, ok := s.cfg.Policy.Serve(s.env, node, fn, now)
@@ -309,15 +426,7 @@ func (s *Simulator) serve(node *Node, fn *Function, arrival time.Duration) bool 
 	if s.cfg.OnlineProfiling > 0 && d.Plan != nil && d.Reuse != nil && !d.Plan.LoadFromScratch {
 		s.observeExecution(d.Plan, d.Reuse.Fn.Model)
 	}
-	if s.faults != nil && d.Kind == metrics.StartTransform && d.Reuse != nil &&
-		s.faults.Float64() < s.cfg.TransformFailureRate {
-		// Injected fault: the transformation aborts halfway through and the
-		// container recovers by discarding the partial state and loading the
-		// destination model from scratch (the safeguard's recovery path).
-		d.Load = d.Load/2 + s.env.Profile.ModelLoad(fn.Model).Total()
-		d.Kind = metrics.StartCold
-		s.TransformsFailed++
-	}
+	d = s.injectFaults(d, fn)
 
 	c := d.Reuse
 	if c == nil {
@@ -329,8 +438,21 @@ func (s *Simulator) serve(node *Node, fn *Function, arrival time.Duration) bool 
 	}
 	c.Fn = fn
 	compute := s.env.Profile.Compute(fn.Model)
-	end := now + d.Init + d.Load + compute
+	service := d.Init + d.Load + compute
+	if s.inj.Fire(faults.Crash) {
+		// The container dies halfway through serving: it is lost at the
+		// crash point and the request re-dispatched (or dropped once its
+		// retry budget runs out). Wasted time surfaces as extra wait.
+		crashAt := now + service/2
+		c.BusyUntil = crashAt
+		c.serving = &inflight{fn: fn, arrival: arrival, retries: retries}
+		s.collector.Faults.Crashes++
+		s.schedule(crashAt, func() { s.crash(node, c) })
+		return true
+	}
+	end := now + service
 	c.BusyUntil = end
+	c.serving = &inflight{fn: fn, arrival: arrival, retries: retries}
 	s.collector.Add(metrics.Record{
 		Function: fn.Name,
 		Kind:     d.Kind,
@@ -341,17 +463,42 @@ func (s *Simulator) serve(node *Node, fn *Function, arrival time.Duration) bool 
 		Init:     d.Init,
 		Load:     d.Load,
 		Compute:  compute,
+		Retries:  retries,
 	})
 	s.schedule(end, func() { s.complete(node, c) })
 	return true
 }
 
+// crash destroys a container at its crash point and re-dispatches the
+// victim request. The freed slot may unblock the node's queue.
+func (s *Simulator) crash(node *Node, c *Container) {
+	if c.dead {
+		return // already lost to a node outage
+	}
+	c.dead = true
+	node.Remove(c)
+	if c.serving != nil {
+		s.retryOrDrop(*c.serving)
+		c.serving = nil
+	}
+	s.drainQueue(node)
+}
+
 // complete frees a container and drains the node's queue.
 func (s *Simulator) complete(node *Node, c *Container) {
+	if c.dead {
+		return // destroyed by an outage while this completion was pending
+	}
 	c.LastDone = s.clock
+	c.serving = nil
+	s.drainQueue(node)
+}
+
+// drainQueue serves as many queued requests as the node can now take.
+func (s *Simulator) drainQueue(node *Node) {
 	for len(node.queue) > 0 {
 		q := node.queue[0]
-		if !s.serve(node, q.fn, q.arrival) {
+		if !s.serve(node, q.fn, q.arrival, q.retries) {
 			return
 		}
 		node.queue = node.queue[1:]

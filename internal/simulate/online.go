@@ -1,12 +1,18 @@
 package simulate
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/metrics"
 )
+
+// ErrRequestDropped marks a request abandoned after exhausting its
+// crash-retry budget; callers can map it to a retryable service error.
+var ErrRequestDropped = errors.New("request dropped after repeated crashes")
 
 // Online serves invocations one at a time against live cluster state, for
 // interactive use (the REST gateway) as opposed to trace replay. Callers
@@ -41,13 +47,23 @@ func (o *Online) RemoveFunction(name string) {
 	delete(o.sim.fns, name)
 }
 
-// Snapshot returns a copy of the cluster's node/container state at `now`
-// (containers are shared pointers; callers must treat them as read-only).
+// Snapshot returns a deep copy of the cluster's node/container state at
+// `now`: callers may read it freely while Invoke keeps mutating the live
+// cluster under the lock.
 func (o *Online) Snapshot(now time.Duration) []*Node {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	out := make([]*Node, len(o.sim.nodes))
-	copy(out, o.sim.nodes)
+	for i, n := range o.sim.nodes {
+		cp := &Node{ID: n.ID, Capacity: n.Capacity, MemoryMB: n.MemoryMB, DownUntil: n.DownUntil}
+		cp.Containers = make([]*Container, len(n.Containers))
+		for j, c := range n.Containers {
+			cc := *c
+			cc.serving = nil
+			cp.Containers[j] = &cc
+		}
+		out[i] = cp
+	}
 	return out
 }
 
@@ -73,12 +89,26 @@ func (o *Online) Function(name string) (*Function, bool) {
 // Env exposes the policy environment (planner, plan cache).
 func (o *Online) Env() *Env { return o.sim.env }
 
-// Collector returns the accumulated request metrics.
+// Collector returns the accumulated request metrics. The collector is
+// mutated by concurrent Invoke calls; readers racing with invocations
+// should use ReadCollector instead.
 func (o *Online) Collector() *metrics.Collector { return o.sim.Collector() }
+
+// ReadCollector runs f with the collector under the server lock, so
+// aggregate reads are consistent with concurrent Invoke calls. f must not
+// retain the collector.
+func (o *Online) ReadCollector(f func(*metrics.Collector)) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	f(&o.sim.collector)
+}
 
 // Invoke serves one request for the named function arriving at `now`
 // (an offset from server start) and returns its record. If every container
 // is busy, the request waits for the earliest completion on its routed node.
+// Injected faults (package faults) degrade the request: failed transforms
+// fall back to a from-scratch load, crashed containers cause bounded
+// retries, and a request that exhausts its retry budget returns an error.
 func (o *Online) Invoke(name string, now time.Duration) (metrics.Record, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -92,13 +122,27 @@ func (o *Online) Invoke(name string, now time.Duration) (metrics.Record, error) 
 	}
 	s.clock = now
 	s.observeArrival(fn, now)
+	if s.inj.Fire(faults.Outage) {
+		s.outageOnline(s.route(fn), now)
+	}
 	node := s.route(fn)
 
 	start := now
+	retries := 0
 	for {
+		if node.Down(start) {
+			// Every candidate node is out: wait for the first recovery.
+			for _, n := range s.candidates(fn) {
+				if n.DownUntil < node.DownUntil {
+					node = n
+				}
+			}
+			start = node.DownUntil
+		}
 		node.EvictExpired(start, s.env.KeepAlive)
 		d, ok := s.cfg.Policy.Serve(s.env, node, fn, start)
 		if ok {
+			d = s.injectFaults(d, fn)
 			c := d.Reuse
 			if c == nil {
 				c = node.newContainer(fn, s.env.GrantFor(fn), start)
@@ -107,7 +151,25 @@ func (o *Online) Invoke(name string, now time.Duration) (metrics.Record, error) 
 			}
 			c.Fn = fn
 			compute := s.env.Profile.Compute(fn.Model)
-			end := start + d.Init + d.Load + compute
+			service := d.Init + d.Load + compute
+			if s.inj.Fire(faults.Crash) {
+				// The container dies mid-request; retry from the crash
+				// point on a freshly routed node, or give up once the
+				// budget is spent.
+				c.dead = true
+				node.Remove(c)
+				s.collector.Faults.Crashes++
+				if retries >= s.cfg.MaxRetries {
+					s.collector.Faults.Dropped++
+					return metrics.Record{}, fmt.Errorf("simulate: %q failed %d attempts: %w", name, retries+1, ErrRequestDropped)
+				}
+				s.collector.Faults.Retries++
+				retries++
+				start += service / 2
+				node = s.route(fn)
+				continue
+			}
+			end := start + service
 			c.BusyUntil = end
 			c.LastDone = end
 			rec := metrics.Record{
@@ -120,6 +182,7 @@ func (o *Online) Invoke(name string, now time.Duration) (metrics.Record, error) 
 				Init:     d.Init,
 				Load:     d.Load,
 				Compute:  compute,
+				Retries:  retries,
 			}
 			s.collector.Add(rec)
 			return rec, nil
@@ -136,4 +199,17 @@ func (o *Online) Invoke(name string, now time.Duration) (metrics.Record, error) 
 		}
 		start = next
 	}
+}
+
+// outageOnline takes a node down in interactive mode: resident containers
+// are lost and later invocations route around the node until it recovers.
+// Records already returned to callers keep their precomputed latencies.
+func (s *Simulator) outageOnline(n *Node, now time.Duration) {
+	n.DownUntil = now + s.cfg.OutageDuration
+	for _, c := range n.Containers {
+		c.dead = true
+		c.serving = nil
+	}
+	n.Containers = nil
+	s.collector.Faults.Outages++
 }

@@ -42,6 +42,21 @@ type Container struct {
 	LastDone time.Duration
 	// Created is the container's creation time.
 	Created time.Duration
+
+	// dead marks a container destroyed by an injected crash or node
+	// outage; pending completion events for it are ignored.
+	dead bool
+	// serving is the request in flight, kept so a crash or outage can
+	// re-dispatch it (trace-replay mode only).
+	serving *inflight
+}
+
+// inflight is the bookkeeping for a request being served, carried so fault
+// recovery can re-dispatch it with its retry budget.
+type inflight struct {
+	fn      *Function
+	arrival time.Duration
+	retries int
 }
 
 // Busy reports whether the container is serving a request at time now.
@@ -66,10 +81,16 @@ type Node struct {
 	Capacity   int
 	MemoryMB   int
 	Containers []*Container
+	// DownUntil, when in the future, marks the node as failed by an
+	// injected outage: routing skips it until it recovers.
+	DownUntil time.Duration
 
 	queue  []queued
 	nextID int
 }
+
+// Down reports whether the node is out due to an injected outage.
+func (n *Node) Down(now time.Duration) bool { return n.DownUntil > now }
 
 // UsedMB sums the memory grants of resident containers.
 func (n *Node) UsedMB() int {
@@ -88,6 +109,7 @@ func (n *Node) fitsMemory(need int) bool {
 type queued struct {
 	fn      *Function
 	arrival time.Duration
+	retries int
 }
 
 // WarmIdle returns an idle container already holding fn's model, or nil.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/balancer"
 	"repro/internal/cost"
+	"repro/internal/faults"
 	"repro/internal/metaop"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -30,6 +31,14 @@ type Registry = zoo.Registry
 
 // Trace is a time-ordered sequence of function invocations.
 type Trace = workload.Trace
+
+// FaultRates holds per-event fault-injection probabilities (transform
+// aborts, failed loads, container crashes, node outages). The zero value
+// disables injection.
+type FaultRates = faults.Rates
+
+// FaultStats tallies injected failures and their recoveries over a run.
+type FaultStats = metrics.FaultStats
 
 // Hardware selects the latency profile.
 type Hardware int
@@ -208,7 +217,18 @@ type SystemConfig struct {
 	ContainerMemoryMB int
 	// TransformFailures injects faults: this fraction of transformations
 	// fail halfway and recover by loading from scratch.
+	//
+	// Deprecated: set Faults.Transform instead; kept for the original
+	// single-fault API.
 	TransformFailures float64
+	// Faults configures deterministic multi-event fault injection; see
+	// the "Failure model & degradation" section of DESIGN.md.
+	Faults FaultRates
+	// MaxRetries bounds crash/outage re-dispatches per request (0 means
+	// the default of 2; negative disables retries).
+	MaxRetries int
+	// OutageDuration is how long a failed node stays down (default 30 s).
+	OutageDuration time.Duration
 }
 
 // System is a serverless ML inference cluster: functions bound to models,
@@ -292,6 +312,9 @@ func (s *System) Run(trace *Trace) (*Report, error) {
 		NodeMemoryMB:         s.cfg.NodeMemoryMB,
 		ContainerMemoryMB:    s.cfg.ContainerMemoryMB,
 		TransformFailureRate: s.cfg.TransformFailures,
+		Faults:               s.cfg.Faults,
+		MaxRetries:           s.cfg.MaxRetries,
+		OutageDuration:       s.cfg.OutageDuration,
 	}, s.fns)
 	col, err := sim.Run(trace)
 	if err != nil {
@@ -321,6 +344,18 @@ type Report struct {
 	// Verified counts transformation plans executed through the
 	// meta-operator engine (only with SystemConfig.VerifyTransforms).
 	Verified int
+}
+
+// FaultSummary renders the run's failure/recovery tallies, or "" when no
+// fault was injected (so zero-rate runs print nothing new).
+func (r *Report) FaultSummary() string {
+	f := r.Faults
+	if !f.Any() {
+		return ""
+	}
+	return fmt.Sprintf(
+		"faults: %d transform fallbacks, %d load retries, %d crashes, %d outages | %d retries, %d dropped",
+		f.TransformFallbacks, f.LoadRetries, f.Crashes, f.Outages, f.Retries, f.Dropped)
 }
 
 // Summary renders a human-readable digest of the run.
