@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/cost"
 	"repro/internal/experiments"
 )
@@ -31,13 +32,19 @@ func main() {
 		slots   = flag.Int("containers", 4, "containers per node")
 		horizon = flag.Duration("horizon", 24*time.Hour, "workload horizon for the end-to-end experiments")
 		pairs   = flag.Int("pairs", 500, "random pairs for fig12")
+		chaosRt = flag.String("chaos-rates", "", "comma-separated fault rates for the chaos/recovery sweeps (defaults per experiment)")
 	)
 	flag.Parse()
 	args := flag.Args()
+	sweepRates, err := cliutil.ParseRates(*chaosRt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -chaos-rates: %v\n", err)
+		os.Exit(2)
+	}
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: optimus-bench [flags] <experiment>... | all")
 		fmt.Fprintln(os.Stderr, "experiments: fig2 fig3 fig4 fig5a fig5c fig8 fig11 fig12 fig13 fig14 fig15 fig16 table1")
-		fmt.Fprintln(os.Stderr, "ablations:   ablation-planner ablation-safeguard ablation-cache ablation-balancer ablation-idle ablation-online ablation-alloc sweep-nodes sweep-load chaos")
+		fmt.Fprintln(os.Stderr, "ablations:   ablation-planner ablation-safeguard ablation-cache ablation-balancer ablation-idle ablation-online ablation-alloc sweep-nodes sweep-load chaos recovery")
 		os.Exit(2)
 	}
 
@@ -50,7 +57,7 @@ func main() {
 	all := []string{"fig2", "fig3", "fig4", "fig5a", "fig5c", "fig8", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "table1",
 		"ablation-planner", "ablation-safeguard", "ablation-cache", "ablation-balancer", "ablation-idle",
-		"ablation-online", "ablation-alloc", "sweep-nodes", "sweep-load", "chaos"}
+		"ablation-online", "ablation-alloc", "sweep-nodes", "sweep-load", "chaos", "recovery"}
 	if len(args) == 1 && args[0] == "all" {
 		args = all
 	}
@@ -137,7 +144,10 @@ func main() {
 			r := experiments.LoadSweep(o, nil, *horizon)
 			out, result = r.Render(), r
 		case "chaos":
-			r := experiments.Chaos(o, nil, *horizon)
+			r := experiments.Chaos(o, sweepRates, *horizon)
+			out, result = r.Render(), r
+		case "recovery":
+			r := experiments.Recovery(o, sweepRates, *horizon)
 			out, result = r.Render(), r
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", a)

@@ -22,12 +22,14 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/cost"
 	"repro/internal/faults"
 	"repro/internal/gateway"
 	"repro/internal/policy"
 	"repro/internal/repository"
 	"repro/internal/simulate"
+	"repro/internal/supervisor"
 	"repro/internal/zoo"
 )
 
@@ -47,9 +49,28 @@ func main() {
 		faultLoad  = flag.Float64("fault-load", 0, "probability a from-scratch model load fails and restarts")
 		faultCrash = flag.Float64("fault-crash", 0, "per-request probability the serving container crashes")
 		faultOut   = flag.Float64("fault-outage", 0, "per-arrival probability the routed node goes down")
+		faultHang  = flag.Float64("fault-hang", 0, "probability a transformation hangs instead of running to plan")
+		faultCkpt  = flag.Float64("fault-checkpoint", 0, "probability a checkpoint write fails (previous snapshot kept)")
+		watchdog   = flag.Float64("watchdog", 0, "cancel transforms at this multiple of their planned cost (≤1 disables)")
+		brkN       = flag.Int("breaker-threshold", 0, "open a pair's circuit breaker after N consecutive transform failures (0 disables)")
+		brkCool    = flag.Duration("breaker-cooldown", 0, "open-breaker wait before a half-open probe (default 5m)")
+		ckptPath   = flag.String("checkpoint", "", "durable checkpoint file: restored on startup, written periodically and on shutdown")
+		ckptEvery  = flag.Duration("checkpoint-interval", time.Minute, "periodic checkpoint cadence (0 = shutdown-only)")
 		seed       = flag.Int64("seed", 1, "fault-injection seed")
 	)
 	flag.Parse()
+
+	if err := cliutil.ValidateProbs(map[string]float64{
+		"-fault-transform":  *faultTrans,
+		"-fault-load":       *faultLoad,
+		"-fault-crash":      *faultCrash,
+		"-fault-outage":     *faultOut,
+		"-fault-hang":       *faultHang,
+		"-fault-checkpoint": *faultCkpt,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	prof := cost.CPU()
 	if *gpu {
@@ -86,15 +107,23 @@ func main() {
 			Policy:            pol,
 			Seed:              *seed,
 			Faults: faults.Rates{
-				Transform: *faultTrans,
-				Load:      *faultLoad,
-				Crash:     *faultCrash,
-				Outage:    *faultOut,
+				Transform:       *faultTrans,
+				Load:            *faultLoad,
+				Crash:           *faultCrash,
+				Outage:          *faultOut,
+				Hang:            *faultHang,
+				CheckpointWrite: *faultCkpt,
+			},
+			WatchdogFactor: *watchdog,
+			Breaker: supervisor.BreakerConfig{
+				Threshold: *brkN,
+				Cooldown:  *brkCool,
 			},
 		},
 		Repository:     store,
 		RequestTimeout: *reqTimeout,
 		MaxInflight:    *maxInfl,
+		CheckpointPath: *ckptPath,
 	})
 
 	if *preload > 0 {
@@ -116,6 +145,9 @@ func main() {
 				}
 			}
 			if err := gw.RegisterModel(g); err != nil {
+				if errors.Is(err, gateway.ErrDuplicateModel) {
+					continue // already live, e.g. restored from a checkpoint
+				}
 				log.Fatalf("preload %s: %v", n, err)
 			}
 			log.Printf("preloaded %s", g)
@@ -134,6 +166,26 @@ func main() {
 	// exiting so clients never see connections cut mid-response.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Periodic checkpointing: write atomic snapshots on a timer; a failed
+	// write keeps the previous snapshot and the server keeps serving.
+	if *ckptPath != "" && *ckptEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if err := gw.SaveCheckpoint(); err != nil {
+						log.Printf("checkpoint: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
@@ -150,6 +202,15 @@ func main() {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("server: %v", err)
+		}
+		if *ckptPath != "" {
+			// Final snapshot after the drain so the checkpoint reflects every
+			// served request.
+			if err := gw.SaveCheckpoint(); err != nil {
+				log.Printf("shutdown checkpoint: %v", err)
+			} else {
+				log.Printf("checkpoint written to %s", *ckptPath)
+			}
 		}
 		log.Print("bye")
 	}

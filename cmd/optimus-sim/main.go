@@ -15,11 +15,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strconv"
-	"strings"
 	"time"
 
 	optimus "repro"
+	"repro/internal/cliutil"
 	"repro/internal/cost"
 	"repro/internal/experiments"
 )
@@ -48,10 +47,15 @@ func main() {
 		faultLoad  = flag.Float64("fault-load", 0, "probability a from-scratch model load fails and restarts")
 		faultCrash = flag.Float64("fault-crash", 0, "per-request probability the serving container crashes")
 		faultOut   = flag.Float64("fault-outage", 0, "per-arrival probability the routed node goes down")
+		faultHang  = flag.Float64("fault-hang", 0, "probability a transformation hangs instead of running to plan")
+		watchdog   = flag.Float64("watchdog", 0, "cancel transforms at this multiple of their planned cost (≤1 disables)")
+		brkN       = flag.Int("breaker-threshold", 0, "open a pair's circuit breaker after N consecutive transform failures (0 disables)")
+		brkCool    = flag.Duration("breaker-cooldown", 0, "open-breaker wait before a half-open probe (default 5m)")
 		maxRetries = flag.Int("max-retries", 0, "crash re-dispatch budget per request (0 = default 2, negative = none)")
 		chaos      = flag.Bool("chaos", false, "run the chaos fault-rate sweep and exit")
 		chaosRates = flag.String("chaos-rates", "", "comma-separated fault rates for -chaos (default 0,0.05,0.1,0.2,0.4)")
-		quick      = flag.Bool("quick", false, "shrink the -chaos sweep for fast runs")
+		recovery   = flag.Bool("recovery", false, "run the supervised-recovery sweep (breaker/watchdog on vs off) and exit")
+		quick      = flag.Bool("quick", false, "shrink the -chaos/-recovery sweeps for fast runs")
 		perFn      = flag.Int("per-function", 0, "print per-function stats for the N slowest functions")
 		saveTrace  = flag.String("save-trace", "", "write the generated workload to this CSV file")
 		loadTrace  = flag.String("load-trace", "", "replay a workload from this CSV file instead of generating one")
@@ -59,23 +63,37 @@ func main() {
 	)
 	flag.Parse()
 
-	if *chaos {
+	if err := cliutil.ValidateProbs(map[string]float64{
+		"-transform-failures": *failRate,
+		"-fault-transform":    *faultTrans,
+		"-fault-load":         *faultLoad,
+		"-fault-crash":        *faultCrash,
+		"-fault-outage":       *faultOut,
+		"-fault-hang":         *faultHang,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *chaos || *recovery {
 		var rates []float64
 		if *chaosRates != "" {
-			for _, s := range strings.Split(*chaosRates, ",") {
-				r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "bad -chaos-rates entry %q: %v\n", s, err)
-					os.Exit(2)
-				}
-				rates = append(rates, r)
+			var err error
+			rates, err = cliutil.ParseRates(*chaosRates)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -chaos-rates: %v\n", err)
+				os.Exit(2)
 			}
 		}
 		o := experiments.Options{Seed: *seed, Quick: *quick}
 		if *gpu {
 			o.Profile = cost.GPU()
 		}
-		fmt.Println(experiments.Chaos(o, rates, *horizon).Render())
+		if *recovery {
+			fmt.Println(experiments.Recovery(o, rates, *horizon).Render())
+		} else {
+			fmt.Println(experiments.Chaos(o, rates, *horizon).Render())
+		}
 		return
 	}
 
@@ -88,6 +106,7 @@ func main() {
 		Load:      *faultLoad,
 		Crash:     *faultCrash,
 		Outage:    *faultOut,
+		Hang:      *faultHang,
 	}
 	sys := optimus.NewSystem(optimus.SystemConfig{
 		Nodes:             *nodes,
@@ -104,6 +123,9 @@ func main() {
 		TransformFailures: *failRate,
 		Faults:            rates,
 		MaxRetries:        *maxRetries,
+		WatchdogFactor:    *watchdog,
+		BreakerThreshold:  *brkN,
+		BreakerCooldown:   *brkCool,
 	})
 
 	img, bert := optimus.Imgclsmob(), optimus.BERTZoo()
@@ -160,6 +182,9 @@ func main() {
 			TransformFailures: *failRate,
 			Faults:            rates,
 			MaxRetries:        *maxRetries,
+			WatchdogFactor:    *watchdog,
+			BreakerThreshold:  *brkN,
+			BreakerCooldown:   *brkCool,
 		})
 		img2 := optimus.Imgclsmob()
 		for i, fn := range traceFunctions(trace) {

@@ -1,0 +1,59 @@
+// Package cliutil holds small shared helpers for the command-line tools:
+// probability-flag validation and rate-list parsing with consolidated error
+// reporting, so every binary rejects bad input the same way.
+package cliutil
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateProbs checks that every named probability is a finite value in
+// [0, 1]. It returns nil when all pass, otherwise a single error naming every
+// offending flag and its value (sorted by flag name) so the user fixes them
+// all in one round trip.
+func ValidateProbs(probs map[string]float64) error {
+	var bad []string
+	for name, v := range probs {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
+			bad = append(bad, fmt.Sprintf("%s=%v", name, v))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	return fmt.Errorf("probability flags must be in [0,1]: %s", strings.Join(bad, ", "))
+}
+
+// ParseRates parses a comma-separated list of probabilities in [0, 1].
+// Empty entries are skipped; every malformed, negative, non-finite, or
+// out-of-range entry is collected into one consolidated error.
+func ParseRates(s string) ([]float64, error) {
+	var out []float64
+	var bad []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		switch {
+		case err != nil:
+			bad = append(bad, fmt.Sprintf("%q (not a number)", part))
+		case math.IsNaN(v) || math.IsInf(v, 0):
+			bad = append(bad, fmt.Sprintf("%q (not finite)", part))
+		case v < 0 || v > 1:
+			bad = append(bad, fmt.Sprintf("%q (outside [0,1])", part))
+		default:
+			out = append(out, v)
+		}
+	}
+	if len(bad) > 0 {
+		return nil, fmt.Errorf("invalid rate entries: %s", strings.Join(bad, ", "))
+	}
+	return out, nil
+}

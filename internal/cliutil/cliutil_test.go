@@ -1,0 +1,80 @@
+package cliutil
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestValidateProbsAccepts(t *testing.T) {
+	if err := ValidateProbs(nil); err != nil {
+		t.Fatalf("nil map: %v", err)
+	}
+	if err := ValidateProbs(map[string]float64{
+		"-a": 0, "-b": 1, "-c": 0.5,
+	}); err != nil {
+		t.Fatalf("boundary values rejected: %v", err)
+	}
+}
+
+func TestValidateProbsRejectsConsolidated(t *testing.T) {
+	err := ValidateProbs(map[string]float64{
+		"-fault-crash":     1.5,
+		"-fault-transform": -0.1,
+		"-fault-load":      math.NaN(),
+		"-fault-outage":    math.Inf(1),
+		"-fault-hang":      0.3, // fine, must not appear
+	})
+	if err == nil {
+		t.Fatal("bad probabilities accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"-fault-crash=1.5", "-fault-transform=-0.1", "-fault-load=NaN", "-fault-outage=+Inf"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, "-fault-hang") {
+		t.Errorf("error %q names a valid flag", msg)
+	}
+	// Sorted flag order keeps the message deterministic.
+	if idx := strings.Index(msg, "-fault-crash"); idx < 0 || idx > strings.Index(msg, "-fault-load") {
+		t.Errorf("error %q not sorted by flag name", msg)
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	got, err := ParseRates("0, 0.25,1,,  0.5 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{0, 0.25, 1, 0.5}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseRates = %v, want %v", got, want)
+	}
+	empty, err := ParseRates("")
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty input = %v, %v", empty, err)
+	}
+}
+
+func TestParseRatesRejectsConsolidated(t *testing.T) {
+	_, err := ParseRates("0.5,woof,-1,NaN,2,0.1")
+	if err == nil {
+		t.Fatal("bad rate list accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		`"woof" (not a number)`,
+		`"-1" (outside [0,1])`,
+		`"NaN" (not finite)`,
+		`"2" (outside [0,1])`,
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, `"0.5"`) || strings.Contains(msg, `"0.1"`) {
+		t.Errorf("error %q names a valid entry", msg)
+	}
+}

@@ -458,3 +458,35 @@ func TestLoadSweep(t *testing.T) {
 		}
 	}
 }
+
+func TestRecoverySweepShape(t *testing.T) {
+	r := Recovery(quick(), []float64{0, 0.4}, 2*time.Hour)
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d, want base+supervised per rate", len(r.Points))
+	}
+	for i, p := range r.Points {
+		if p.Served == 0 {
+			t.Fatalf("point %d served nothing", i)
+		}
+		if want := i%2 == 1; p.Supervised != want {
+			t.Fatalf("point %d supervised = %v, want %v", i, p.Supervised, want)
+		}
+	}
+	// Zero-rate rows are fault-free regardless of supervision.
+	for _, p := range r.Points[:2] {
+		if p.Faults.Any() || p.Timeout != 0 || p.Breaker != 0 {
+			t.Fatalf("zero-rate point has fault activity: %+v", p)
+		}
+	}
+	// At rate 0.4 the supervised run actually exercises the machinery.
+	sup := r.Points[3]
+	if sup.Faults.WatchdogCancels == 0 {
+		t.Error("supervised high-rate run cancelled no hangs")
+	}
+	if sup.Faults.Hangs == 0 {
+		t.Error("supervised high-rate run saw no hangs")
+	}
+	if r.Render() == "" {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/simulate"
+	"repro/internal/supervisor"
+	"repro/internal/workload"
+)
+
+// Recovery experiment: sweep the transform-failure intensity and compare an
+// unsupervised cluster against one running the full supervision layer
+// (watchdog + per-pair circuit breaker). At intensity r, transforms abort
+// with probability r and hang with probability r/2; the supervised run
+// cancels hangs at 2× the planned cost and opens a pair's breaker after 3
+// consecutive failures. Deterministic given the seed.
+
+// RecoveryPoint is one fault-intensity measurement for one configuration.
+type RecoveryPoint struct {
+	// Rate is the injected transform-abort probability (hangs at Rate/2).
+	Rate float64
+	// Supervised marks the watchdog+breaker configuration.
+	Supervised bool
+	Served     int
+	Mean, P99  time.Duration
+	// Transform, Fallback, Timeout and Breaker are start-kind shares.
+	Transform, Fallback, Timeout, Breaker float64
+	// Faults tallies the injected failures and recoveries.
+	Faults metrics.FaultStats
+	// BreakerStats summarizes breaker transitions (supervised runs only).
+	BreakerStats supervisor.BreakerStats
+}
+
+// RecoveryResult pairs the base and supervised degradation curves.
+type RecoveryResult struct {
+	Points []RecoveryPoint
+}
+
+// Recovery runs the supervision sweep under the Optimus policy (default
+// rates 0, 0.1, 0.2, 0.4) over a shared Poisson workload.
+func Recovery(o Options, rates []float64, horizon time.Duration) RecoveryResult {
+	o = o.withDefaults()
+	if len(rates) == 0 {
+		rates = []float64{0, 0.1, 0.2, 0.4}
+	}
+	if horizon <= 0 {
+		horizon = 24 * time.Hour
+	}
+	if o.Quick && horizon > 6*time.Hour {
+		horizon = 6 * time.Hour
+	}
+	fns := DefaultFunctionSet(o.Quick)
+	names := make([]string, len(fns))
+	for i, f := range fns {
+		names[i] = f.Name
+	}
+	tr := workload.MixedPoisson(names, horizon, o.Seed)
+
+	var res RecoveryResult
+	for _, r := range rates {
+		for _, supervised := range []bool{false, true} {
+			cfg := simulate.Config{
+				Policy:            policy.Optimus{},
+				Nodes:             4,
+				ContainersPerNode: 4,
+				Profile:           o.Profile,
+				Seed:              o.Seed,
+				Faults: faults.Rates{
+					Transform: r,
+					Hang:      r / 2,
+				},
+			}
+			if supervised {
+				cfg.WatchdogFactor = 2
+				cfg.Breaker = supervisor.BreakerConfig{Threshold: 3, Cooldown: 10 * time.Minute}
+			}
+			sim := simulate.New(cfg, fns)
+			col, err := sim.Run(tr)
+			if err != nil {
+				panic(err)
+			}
+			fr := col.KindFractions()
+			res.Points = append(res.Points, RecoveryPoint{
+				Rate:         r,
+				Supervised:   supervised,
+				Served:       col.Len(),
+				Mean:         col.MeanLatency(),
+				P99:          col.Percentile(99),
+				Transform:    fr[metrics.StartTransform],
+				Fallback:     fr[metrics.StartFallback],
+				Timeout:      fr[metrics.StartTimeout],
+				Breaker:      fr[metrics.StartBreaker],
+				Faults:       col.Faults,
+				BreakerStats: sim.Breaker().Stats(),
+			})
+		}
+	}
+	return res
+}
+
+// Render prints the paired degradation curves.
+func (r RecoveryResult) Render() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		mode := "base"
+		if p.Supervised {
+			mode = "supervised"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", p.Rate),
+			mode,
+			fmt.Sprint(p.Served),
+			ms(p.Mean), ms(p.P99),
+			pct(p.Transform), pct(p.Fallback), pct(p.Timeout), pct(p.Breaker),
+			fmt.Sprint(p.Faults.Hangs),
+			fmt.Sprint(p.Faults.WatchdogCancels),
+			fmt.Sprint(p.BreakerStats.Opens),
+		})
+	}
+	return "Extension: supervised recovery sweep (transform aborts at rate, hangs at rate/2; supervised = watchdog 2x + breaker N=3)\n" +
+		table([]string{"rate", "mode", "served", "mean(ms)", "p99(ms)", "transform", "fallback", "timeout", "breaker", "hangs", "wd-cancel", "opens"}, rows)
+}

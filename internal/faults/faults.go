@@ -32,6 +32,15 @@ const (
 	// Outage is a worker node going down: its containers are lost and its
 	// queued and in-flight requests are re-dispatched elsewhere.
 	Outage
+	// Hang is a transformation stalling instead of aborting: without a
+	// watchdog it blocks its container far past the planned cost before
+	// finishing; with one it is cancelled at the deadline and recovered
+	// through the safeguard path.
+	Hang
+	// CheckpointWrite is a durable-checkpoint write failing partway (disk
+	// full, torn write); the atomic tmp+rename protocol must leave the
+	// previous checkpoint intact.
+	CheckpointWrite
 	eventCount
 )
 
@@ -46,6 +55,10 @@ func (e Event) String() string {
 		return "crash"
 	case Outage:
 		return "outage"
+	case Hang:
+		return "hang"
+	case CheckpointWrite:
+		return "checkpoint-write"
 	default:
 		return fmt.Sprintf("event(%d)", int(e))
 	}
@@ -62,11 +75,17 @@ type Rates struct {
 	Crash float64
 	// Outage is the per-arrival probability the routed node goes down.
 	Outage float64
+	// Hang is the probability a transformation stalls instead of running to
+	// plan (detected and cancelled only when a watchdog is configured).
+	Hang float64
+	// CheckpointWrite is the probability a durable-checkpoint write fails.
+	CheckpointWrite float64
 }
 
 // Enabled reports whether any rate is nonzero.
 func (r Rates) Enabled() bool {
-	return r.Transform > 0 || r.Load > 0 || r.Crash > 0 || r.Outage > 0
+	return r.Transform > 0 || r.Load > 0 || r.Crash > 0 || r.Outage > 0 ||
+		r.Hang > 0 || r.CheckpointWrite > 0
 }
 
 func (r Rates) rate(e Event) float64 {
@@ -79,6 +98,10 @@ func (r Rates) rate(e Event) float64 {
 		return r.Crash
 	case Outage:
 		return r.Outage
+	case Hang:
+		return r.Hang
+	case CheckpointWrite:
+		return r.CheckpointWrite
 	default:
 		return 0
 	}

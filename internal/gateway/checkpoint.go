@@ -1,0 +1,123 @@
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/supervisor"
+)
+
+// Checkpoint snapshots the gateway's durable state: registered model
+// manifests, the simulated cluster, the metrics history, and the hardening
+// counters.
+func (g *Gateway) Checkpoint() (*supervisor.Checkpoint, error) {
+	g.mu.Lock()
+	models := make([]*model.Graph, 0, len(g.models))
+	for _, m := range g.models {
+		models = append(models, m)
+	}
+	g.mu.Unlock()
+	cp := &supervisor.Checkpoint{
+		Shed:   g.shed.Load(),
+		Panics: g.panics.Load(),
+	}
+	// Stable model order keeps same-state checkpoints byte-identical.
+	sort.Slice(models, func(i, j int) bool { return models[i].Name < models[j].Name })
+	for _, m := range models {
+		raw, err := json.Marshal(m)
+		if err != nil {
+			return nil, fmt.Errorf("gateway: marshal model %s: %w", m.Name, err)
+		}
+		cp.Models = append(cp.Models, raw)
+	}
+	cp.Cluster = g.online.ExportState()
+	g.online.ReadCollector(func(col *metrics.Collector) {
+		cp.Metrics.Records = append([]metrics.Record(nil), col.Records()...)
+		cp.Metrics.Faults = col.Faults
+	})
+	return cp, nil
+}
+
+// SaveCheckpoint writes the gateway's state atomically to the configured
+// checkpoint path (a no-op when no path is configured). Failed writes —
+// including deterministically injected checkpoint-write faults — leave any
+// previous checkpoint intact and are tallied, not fatal.
+func (g *Gateway) SaveCheckpoint() error {
+	if g.ckptPath == "" {
+		return nil
+	}
+	cp, err := g.Checkpoint()
+	if err == nil {
+		err = supervisor.Save(g.ckptPath, cp, g.ckptInj)
+	}
+	if err != nil {
+		g.ckptFailures.Add(1)
+		return err
+	}
+	g.ckptSaves.Add(1)
+	return nil
+}
+
+// RestoreCheckpoint loads a checkpoint into the gateway: models are
+// registered (names already present — e.g. preloaded from the repository —
+// are kept as-is), the cluster state is imported with reconciliation, and
+// the metrics history and hardening counters are restored. It returns the
+// quarantined function names from reconciliation.
+func (g *Gateway) RestoreCheckpoint(cp *supervisor.Checkpoint) ([]string, error) {
+	restored := 0
+	for _, raw := range cp.Models {
+		var m model.Graph
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, fmt.Errorf("gateway: checkpoint model: %w", err)
+		}
+		err := g.RegisterModel(&m)
+		switch {
+		case err == nil:
+			restored++
+		case errors.Is(err, ErrDuplicateModel):
+			// Already live (repository preload); the running copy wins.
+		default:
+			return nil, fmt.Errorf("gateway: restore model %s: %w", m.Name, err)
+		}
+	}
+	quarantined := g.online.ImportState(cp.Cluster)
+	g.online.ReadCollector(func(col *metrics.Collector) {
+		col.RestoreFrom(cp.Metrics.Records, cp.Metrics.Faults)
+	})
+	g.shed.Store(cp.Shed)
+	g.panics.Store(cp.Panics)
+	g.mu.Lock()
+	g.restoredModels = restored
+	g.restoredRecords = len(cp.Metrics.Records)
+	g.quarantined = quarantined
+	g.mu.Unlock()
+	return quarantined, nil
+}
+
+// restoreFromDisk is New's startup path: load and restore the configured
+// checkpoint if one exists. A missing file is a normal first boot; a corrupt
+// or otherwise unreadable one logs a warning and falls back to a clean start
+// instead of refusing to serve.
+func (g *Gateway) restoreFromDisk() {
+	cp, err := supervisor.Load(g.ckptPath)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			log.Printf("gateway: ignoring unusable checkpoint %s (starting clean): %v", g.ckptPath, err)
+		}
+		return
+	}
+	quarantined, err := g.RestoreCheckpoint(cp)
+	if err != nil {
+		log.Printf("gateway: checkpoint restore from %s failed (starting clean): %v", g.ckptPath, err)
+		return
+	}
+	if len(quarantined) > 0 {
+		log.Printf("gateway: quarantined containers for unregistered/unplaceable functions: %v", quarantined)
+	}
+}

@@ -1,0 +1,290 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/simulate"
+	"repro/internal/supervisor"
+	"repro/internal/zoo"
+)
+
+// TestCheckpointKillAndRestart is the durability acceptance test: a gateway
+// serves traffic, checkpoints, and "dies"; a second gateway built over the
+// same checkpoint path comes back with the models, metrics history, and
+// cluster state of the first.
+func TestCheckpointKillAndRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	clock := &fakeClock{}
+	mk := func() *Gateway {
+		return New(Config{
+			Cluster:        simulate.Config{Nodes: 1, ContainersPerNode: 2},
+			Now:            clock.now,
+			CheckpointPath: path,
+		})
+	}
+	g1 := mk()
+	img := zoo.Imgclsmob()
+	for _, name := range []string{"resnet18-imagenet", "resnet34-imagenet"} {
+		if err := g1.RegisterModel(img.MustGet(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv1 := httptest.NewServer(g1.Handler())
+	for i, name := range []string{"resnet18-imagenet", "resnet34-imagenet", "resnet18-imagenet"} {
+		resp, body := post(t, srv1.URL+"/api/invoke", map[string]string{"model": name})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("invoke %d: %d %v", i, resp.StatusCode, body)
+		}
+		clock.advance(time.Minute)
+	}
+	srv1.Close()
+	if err := g1.SaveCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Same state, same snapshot: checkpoints are deterministic bytes.
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g1.SaveCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("re-checkpointing unchanged state produced different bytes")
+	}
+
+	g2 := mk() // restores from path inside New
+	srv2 := httptest.NewServer(g2.Handler())
+	defer srv2.Close()
+
+	_, models := get(t, srv2.URL+"/api/models")
+	names, _ := models["models"].([]any)
+	if len(names) != 2 {
+		t.Fatalf("restored models = %v, want 2", models["models"])
+	}
+	_, stats := get(t, srv2.URL+"/api/stats")
+	if got := stats["requests"].(float64); got != 3 {
+		t.Fatalf("restored requests = %v, want 3", got)
+	}
+	sup := stats["supervisor"].(map[string]any)
+	ck := sup["checkpoint"].(map[string]any)
+	if ck["restored_models"].(float64) != 2 || ck["restored_records"].(float64) != 3 {
+		t.Fatalf("checkpoint stats = %v", ck)
+	}
+	if q := ck["quarantined"]; q != nil && len(q.([]any)) != 0 {
+		t.Fatalf("clean restore quarantined containers: %v", q)
+	}
+
+	// The restored cluster still serves; the resident containers survived the
+	// restart, so this is not a cold start.
+	resp, body := post(t, srv2.URL+"/api/invoke", map[string]string{"model": "resnet18-imagenet"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart invoke: %d %v", resp.StatusCode, body)
+	}
+	if kind := body["start"]; kind == "cold" {
+		t.Fatalf("post-restart invoke was a cold start; cluster state was lost (%v)", body)
+	}
+}
+
+// TestCheckpointCorruptStartsClean: an unreadable checkpoint must not take the
+// server down — it logs a warning and boots clean.
+func TestCheckpointCorruptStartsClean(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := os.WriteFile(path, []byte("{definitely not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	log.SetOutput(&buf)
+	defer log.SetOutput(os.Stderr)
+	clock := &fakeClock{}
+	g := New(Config{
+		Cluster:        simulate.Config{Nodes: 1, ContainersPerNode: 2},
+		Now:            clock.now,
+		CheckpointPath: path,
+	})
+	if !strings.Contains(buf.String(), "starting clean") {
+		t.Fatalf("corrupt checkpoint did not log the clean-start warning: %q", buf.String())
+	}
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	_, stats := get(t, srv.URL+"/api/stats")
+	if got := stats["requests"].(float64); got != 0 {
+		t.Fatalf("clean start has %v requests", got)
+	}
+	// The gateway is fully functional after the fallback.
+	if err := g.RegisterModel(zoo.Imgclsmob().MustGet("resnet18-imagenet")); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := post(t, srv.URL+"/api/invoke", map[string]string{"model": "resnet18-imagenet"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("invoke after clean start: %d %v", resp.StatusCode, body)
+	}
+}
+
+// TestCheckpointQuarantinesUnknownModels: restoring a checkpoint whose cluster
+// references a model missing from the snapshot quarantines those containers
+// instead of resurrecting handles to state the repository cannot back.
+func TestCheckpointQuarantinesUnknownModels(t *testing.T) {
+	clock := &fakeClock{}
+	g1 := New(Config{
+		Cluster: simulate.Config{Nodes: 1, ContainersPerNode: 2},
+		Now:     clock.now,
+	})
+	img := zoo.Imgclsmob()
+	for _, name := range []string{"resnet18-imagenet", "resnet34-imagenet"} {
+		if err := g1.RegisterModel(img.MustGet(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv1 := httptest.NewServer(g1.Handler())
+	for _, name := range []string{"resnet18-imagenet", "resnet34-imagenet"} {
+		resp, _ := post(t, srv1.URL+"/api/invoke", map[string]string{"model": name})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("invoke %s failed", name)
+		}
+		clock.advance(time.Minute)
+	}
+	srv1.Close()
+	cp, err := g1.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the snapshot the way a partial registry loss would: drop
+	// resnet34 from the model manifests while its container remains in the
+	// cluster state.
+	kept := cp.Models[:0]
+	for _, raw := range cp.Models {
+		var m struct {
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatal(err)
+		}
+		if m.Name != "resnet34-imagenet" {
+			kept = append(kept, raw)
+		}
+	}
+	cp.Models = kept
+
+	g2 := New(Config{
+		Cluster: simulate.Config{Nodes: 1, ContainersPerNode: 2},
+		Now:     clock.now,
+	})
+	quarantined, err := g2.RestoreCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quarantined) != 1 || quarantined[0] != "resnet34-imagenet" {
+		t.Fatalf("quarantined = %v, want [resnet34-imagenet]", quarantined)
+	}
+	// The surviving model's container is intact and serves warm.
+	srv2 := httptest.NewServer(g2.Handler())
+	defer srv2.Close()
+	resp, body := post(t, srv2.URL+"/api/invoke", map[string]string{"model": "resnet18-imagenet"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("invoke after quarantine: %d %v", resp.StatusCode, body)
+	}
+}
+
+// TestGatewayStressSupervised is the -race regression test for the recovery
+// layer: parallel invokers against nonzero hang/transform fault rates with
+// the watchdog, breaker, and checkpoint writer all active, racing stats
+// readers and the periodic checkpointer.
+func TestGatewayStressSupervised(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	clock := &fakeClock{}
+	g := New(Config{
+		Cluster: simulate.Config{
+			Nodes: 2, ContainersPerNode: 2,
+			Seed:           11,
+			Faults:         faults.Rates{Transform: 0.3, Hang: 0.2},
+			WatchdogFactor: 2,
+			Breaker:        supervisor.BreakerConfig{Threshold: 3, Cooldown: time.Minute},
+		},
+		Now:            clock.now,
+		MaxInflight:    64,
+		RequestTimeout: 5 * time.Second,
+		CheckpointPath: path,
+	})
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	img := zoo.Imgclsmob()
+	for _, name := range []string{"resnet18-imagenet", "resnet34-imagenet"} {
+		if err := g.RegisterModel(img.MustGet(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		workers = 8
+		iters   = 40
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters)
+	do := func(f func(i int) error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := f(i); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < workers/2; w++ {
+		do(func(i int) error { // invokers keep forcing transform attempts
+			name := "resnet18-imagenet"
+			if i%2 == 1 {
+				name = "resnet34-imagenet"
+			}
+			raw, _ := json.Marshal(map[string]string{"model": name})
+			resp, err := http.Post(srv.URL+"/api/invoke", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			return nil
+		})
+	}
+	do(func(int) error { // stats readers race the supervisor counters
+		resp, err := http.Get(srv.URL + "/api/stats")
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		return nil
+	})
+	do(func(int) error { // the periodic checkpointer races everything
+		_ = g.SaveCheckpoint()
+		return nil
+	})
+	do(func(int) error {
+		clock.advance(250 * time.Millisecond)
+		return nil
+	})
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if _, err := supervisor.Load(path); err != nil {
+		t.Fatalf("stress run left no loadable checkpoint: %v", err)
+	}
+}

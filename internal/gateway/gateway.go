@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/metaop"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -61,6 +62,12 @@ type Config struct {
 	// gateway sheds load with 503 + Retry-After instead of queueing
 	// unboundedly. Zero means no bound.
 	MaxInflight int
+	// CheckpointPath, when non-empty, enables durable checkpoint/restore:
+	// SaveCheckpoint writes atomic snapshots there and New auto-restores an
+	// existing (valid) checkpoint, quarantining containers whose functions
+	// are no longer registered. A corrupt file logs a warning and the
+	// gateway starts clean.
+	CheckpointPath string
 }
 
 // Gateway is the HTTP control plane.
@@ -78,6 +85,18 @@ type Gateway struct {
 	inflight chan struct{}
 	shed     atomic.Int64
 	panics   atomic.Int64
+
+	// ckptPath/ckptInj drive durable checkpointing; the injector (possibly
+	// nil) deterministically fails writes for chaos testing. The counters
+	// and restore summary feed /api/stats.
+	ckptPath     string
+	ckptInj      *faults.Injector
+	ckptSaves    atomic.Int64
+	ckptFailures atomic.Int64
+
+	restoredModels  int
+	restoredRecords int
+	quarantined     []string
 }
 
 // New builds a gateway with no registered models.
@@ -91,11 +110,13 @@ func New(cfg Config) *Gateway {
 		cfg.Cluster.Policy = policy.Optimus{}
 	}
 	g := &Gateway{
-		online:  simulate.NewOnline(cfg.Cluster, nil),
-		now:     now,
-		models:  make(map[string]*model.Graph),
-		store:   cfg.Repository,
-		timeout: cfg.RequestTimeout,
+		online:   simulate.NewOnline(cfg.Cluster, nil),
+		now:      now,
+		models:   make(map[string]*model.Graph),
+		store:    cfg.Repository,
+		timeout:  cfg.RequestTimeout,
+		ckptPath: cfg.CheckpointPath,
+		ckptInj:  faults.New(cfg.Cluster.Seed^0x9e3779b9, faults.Rates{CheckpointWrite: cfg.Cluster.Faults.CheckpointWrite}),
 	}
 	if cfg.MaxInflight > 0 {
 		g.inflight = make(chan struct{}, cfg.MaxInflight)
@@ -107,6 +128,9 @@ func New(cfg Config) *Gateway {
 				g.online.AddFunction(&simulate.Function{Name: m.Name, Model: m})
 			}
 		}
+	}
+	if g.ckptPath != "" {
+		g.restoreFromDisk()
 	}
 	return g
 }
@@ -436,19 +460,67 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 			"transform_fraction": fr[metrics.StartTransform],
 			"cold_fraction":      fr[metrics.StartCold],
 			"fallback_fraction":  fr[metrics.StartFallback],
+			"timeout_fraction":   fr[metrics.StartTimeout],
+			"breaker_fraction":   fr[metrics.StartBreaker],
 			"faults": map[string]int{
-				"transform_fallbacks": col.Faults.TransformFallbacks,
-				"load_retries":        col.Faults.LoadRetries,
-				"crashes":             col.Faults.Crashes,
-				"outages":             col.Faults.Outages,
-				"retries":             col.Faults.Retries,
-				"dropped":             col.Faults.Dropped,
+				"transform_fallbacks":    col.Faults.TransformFallbacks,
+				"load_retries":           col.Faults.LoadRetries,
+				"crashes":                col.Faults.Crashes,
+				"outages":                col.Faults.Outages,
+				"retries":                col.Faults.Retries,
+				"dropped":                col.Faults.Dropped,
+				"hangs":                  col.Faults.Hangs,
+				"watchdog_cancels":       col.Faults.WatchdogCancels,
+				"breaker_short_circuits": col.Faults.BreakerShortCircuits,
 			},
 		}
 	})
 	out["shed"] = g.shed.Load()
 	out["panics_recovered"] = g.panics.Load()
+	out["supervisor"] = g.supervisorStats()
 	writeJSON(w, http.StatusOK, out)
+}
+
+// supervisorStats summarizes the recovery layer for /api/stats: breaker
+// transitions and open pairs, watchdog activity, and checkpoint/restore
+// counters.
+func (g *Gateway) supervisorStats() map[string]any {
+	out := map[string]any{}
+	if b := g.online.Breaker(); b != nil {
+		st := b.Stats()
+		out["breaker"] = map[string]any{
+			"opens":          st.Opens,
+			"reopens":        st.Reopens,
+			"closes":         st.Closes,
+			"short_circuits": st.ShortCircuits,
+			"probes":         st.Probes,
+			"open_pairs":     b.OpenPairs(),
+		}
+	}
+	if wd := g.online.Watchdog(); wd != nil {
+		st := wd.Stats()
+		out["watchdog"] = map[string]any{
+			"cancelled":        st.Cancelled,
+			"leases_issued":    st.LeasesIssued,
+			"leases_completed": st.LeasesCompleted,
+			"leases_expired":   st.LeasesExpired,
+			"leases_active":    wd.Active(),
+		}
+	}
+	if g.ckptPath != "" {
+		g.mu.Lock()
+		restoredModels, restoredRecords := g.restoredModels, g.restoredRecords
+		quarantined := append([]string(nil), g.quarantined...)
+		g.mu.Unlock()
+		out["checkpoint"] = map[string]any{
+			"saves":            g.ckptSaves.Load(),
+			"save_failures":    g.ckptFailures.Load(),
+			"restored_models":  restoredModels,
+			"restored_records": restoredRecords,
+			"quarantined":      quarantined,
+		}
+	}
+	return out
 }
 
 func msF(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

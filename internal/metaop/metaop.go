@@ -176,6 +176,13 @@ func Apply(prof *cost.Profile, p *Plan, src *model.Graph, dst *model.Graph) (*mo
 	}
 	out := model.NewGraph(dst.Name, dst.Family)
 	slots := make([]*model.Operation, dst.NumOps())
+	consumed := make(map[int]bool)
+	type edgeKey struct {
+		from, to int
+		add      bool
+	}
+	seenEdges := make(map[edgeKey]bool)
+	var edgeAdds, edgeRemoves int
 	var elapsed time.Duration
 
 	for _, s := range p.Steps {
@@ -189,6 +196,7 @@ func Apply(prof *cost.Profile, p *Plan, src *model.Graph, dst *model.Graph) (*mo
 				if src.Op(s.SrcID) == nil {
 					return nil, 0, fmt.Errorf("metaop: step %s references missing source op %d", s.Kind, s.SrcID)
 				}
+				consumed[s.SrcID] = true
 			}
 			op := s.Dst
 			if prev := slots[s.DstID]; prev != nil && *prev != op {
@@ -199,21 +207,72 @@ func Apply(prof *cost.Profile, p *Plan, src *model.Graph, dst *model.Graph) (*mo
 			if src.Op(s.SrcID) == nil {
 				return nil, 0, fmt.Errorf("metaop: reduce references missing source op %d", s.SrcID)
 			}
+			consumed[s.SrcID] = true
 		case KindEdge:
-			// Edges are applied after all slots are realized.
+			// Edges are applied after all slots are realized; a plan that
+			// charges the same edge diff twice is corrupt.
+			k := edgeKey{s.EdgeFrom, s.EdgeTo, s.EdgeAdd}
+			if seenEdges[k] {
+				return nil, 0, fmt.Errorf("metaop: duplicate edge step %d→%d (add=%v)", s.EdgeFrom, s.EdgeTo, s.EdgeAdd)
+			}
+			seenEdges[k] = true
+			// Additions are phrased in destination IDs, removals in source
+			// IDs; a step referencing wiring neither graph has is corrupt.
+			if s.EdgeAdd {
+				if !dst.HasEdge(s.EdgeFrom, s.EdgeTo) {
+					return nil, 0, fmt.Errorf("metaop: edge step adds %d→%d, which is not a destination edge", s.EdgeFrom, s.EdgeTo)
+				}
+				edgeAdds++
+			} else {
+				if !src.HasEdge(s.EdgeFrom, s.EdgeTo) {
+					return nil, 0, fmt.Errorf("metaop: edge step removes %d→%d, which is not a source edge", s.EdgeFrom, s.EdgeTo)
+				}
+				edgeRemoves++
+			}
 		default:
 			return nil, 0, fmt.Errorf("metaop: unknown step kind %d", s.Kind)
 		}
 	}
 
 	// Source ops that were neither substituted nor reduced carry over only if
-	// they are already identical to their destination slot; the planner emits
-	// no step for a perfect (zero-cost) match, so fill those from dst.
-	for j := range slots {
-		if slots[j] == nil {
-			op := *dst.Op(j)
-			slots[j] = &op
+	// they are already identical to their destination slot: the planner emits
+	// no step exactly when source and destination ops match perfectly on
+	// (Type, Shape, WeightsID). A nil slot with no such unconsumed source op
+	// available is a hole the plan never filled — the container has no
+	// bit-identical state to keep there, so the plan is rejected rather than
+	// silently completed from dst.
+	type opKey struct {
+		typ       model.OpType
+		shape     model.Shape
+		weightsID uint64
+	}
+	avail := make(map[opKey]int)
+	for i := 0; i < src.NumOps(); i++ {
+		if consumed[i] {
+			continue
 		}
+		op := src.Op(i)
+		avail[opKey{op.Type, op.Shape, op.WeightsID}]++
+	}
+	for j := range slots {
+		if slots[j] != nil {
+			continue
+		}
+		op := *dst.Op(j)
+		k := opKey{op.Type, op.Shape, op.WeightsID}
+		if avail[k] <= 0 {
+			return nil, 0, fmt.Errorf("metaop: destination op %d is realized by no step and no identical source op carries over (truncated plan?)", j)
+		}
+		avail[k]--
+		slots[j] = &op
+	}
+	// Every destination edge is either kept from the mapped source wiring or
+	// introduced by an Edge-add step, and every source edge is either kept or
+	// dropped by an Edge-remove step, so adds−removes must equal the edge
+	// count difference. A truncated edge list breaks this balance.
+	if edgeAdds-edgeRemoves != len(dst.Edges())-len(src.Edges()) {
+		return nil, 0, fmt.Errorf("metaop: plan rewires %d−%d edges but the graphs differ by %d (truncated plan?)",
+			edgeAdds, edgeRemoves, len(dst.Edges())-len(src.Edges()))
 	}
 	for _, op := range slots {
 		out.AddOp(*op)

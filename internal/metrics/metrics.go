@@ -27,6 +27,15 @@ const (
 	// mid-flight, so the model was loaded from scratch instead — the
 	// safeguard's recovery path, charging the wasted partial transform.
 	StartFallback
+	// StartTimeout repurposed a container but the transformation hung and
+	// the supervision watchdog cancelled it at its deadline (k× the planned
+	// cost), charging the wasted window plus a from-scratch load.
+	StartTimeout
+	// StartBreaker repurposed a container whose (src→dst) transformation
+	// pair had its circuit breaker open: the doomed transform attempt was
+	// skipped entirely and the model loaded from scratch directly (still
+	// saving sandbox/runtime init).
+	StartBreaker
 	startKindCount
 )
 
@@ -41,6 +50,10 @@ func (k StartKind) String() string {
 		return "cold"
 	case StartFallback:
 		return "fallback"
+	case StartTimeout:
+		return "timeout"
+	case StartBreaker:
+		return "breaker"
 	default:
 		return fmt.Sprintf("startkind(%d)", uint8(k))
 	}
@@ -83,12 +96,24 @@ type FaultStats struct {
 	// Dropped counts requests abandoned after exhausting their retry
 	// budget; dropped requests contribute no latency record.
 	Dropped int
+	// Hangs counts transformations that stalled instead of running to plan
+	// (whether or not a watchdog was present to cancel them).
+	Hangs int
+	// WatchdogCancels counts hung transformations the watchdog cancelled at
+	// their deadline and recovered through the safeguard path (StartTimeout
+	// records).
+	WatchdogCancels int
+	// BreakerShortCircuits counts transform attempts skipped because the
+	// (src→dst) pair's circuit breaker was open, routing the request straight
+	// to a from-scratch load (StartBreaker records).
+	BreakerShortCircuits int
 }
 
 // Any reports whether any fault was recorded.
 func (f FaultStats) Any() bool {
 	return f.TransformFallbacks > 0 || f.LoadRetries > 0 || f.Crashes > 0 ||
-		f.Outages > 0 || f.Retries > 0 || f.Dropped > 0
+		f.Outages > 0 || f.Retries > 0 || f.Dropped > 0 ||
+		f.Hangs > 0 || f.WatchdogCancels > 0 || f.BreakerShortCircuits > 0
 }
 
 // Collector accumulates request records.
@@ -106,6 +131,14 @@ func (c *Collector) Len() int { return len(c.records) }
 
 // Records returns the accumulated records (backing store; do not mutate).
 func (c *Collector) Records() []Record { return c.records }
+
+// RestoreFrom replaces the collector's contents with a checkpointed snapshot:
+// the records are copied (the caller's slice is not retained) and the fault
+// tallies overwritten. Used when restoring server state from disk.
+func (c *Collector) RestoreFrom(records []Record, faults FaultStats) {
+	c.records = append([]Record(nil), records...)
+	c.Faults = faults
+}
 
 // MeanLatency returns the average end-to-end service time.
 func (c *Collector) MeanLatency() time.Duration {

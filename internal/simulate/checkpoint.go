@@ -1,0 +1,97 @@
+package simulate
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/supervisor"
+)
+
+// ExportState snapshots the online cluster — virtual clock, node health, and
+// resident containers — into the supervisor's durable checkpoint form.
+func (o *Online) ExportState() supervisor.ClusterState {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s := o.sim
+	st := supervisor.ClusterState{ClockNS: int64(s.clock)}
+	for _, n := range s.nodes {
+		ns := supervisor.NodeState{
+			ID:          n.ID,
+			DownUntilNS: int64(n.DownUntil),
+			NextID:      n.nextID,
+		}
+		for _, c := range n.Containers {
+			if c.dead {
+				continue
+			}
+			ns.Containers = append(ns.Containers, supervisor.ContainerState{
+				ID:          c.ID,
+				Function:    c.Fn.Name,
+				MemMB:       c.MemMB,
+				BusyUntilNS: int64(c.BusyUntil),
+				LastDoneNS:  int64(c.LastDone),
+				CreatedNS:   int64(c.Created),
+			})
+		}
+		st.Nodes = append(st.Nodes, ns)
+	}
+	return st
+}
+
+// ImportState restores a checkpointed cluster snapshot into the online
+// server, reconciling it against the currently registered functions: a
+// container whose function is no longer registered — or that no longer fits
+// its node's capacity — is quarantined (discarded) rather than resurrected.
+// The returned list names the quarantined containers' functions, sorted and
+// deduplicated, for operator logging. The virtual clock only moves forward.
+func (o *Online) ImportState(st supervisor.ClusterState) []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s := o.sim
+	if c := time.Duration(st.ClockNS); c > s.clock {
+		s.clock = c
+	}
+	quarantined := map[string]bool{}
+	byID := make(map[int]*Node, len(s.nodes))
+	for _, n := range s.nodes {
+		byID[n.ID] = n
+	}
+	for _, ns := range st.Nodes {
+		n := byID[ns.ID]
+		if n == nil {
+			// The restored topology is larger than the running one: every
+			// container on the missing node is quarantined.
+			for _, cs := range ns.Containers {
+				quarantined[cs.Function] = true
+			}
+			continue
+		}
+		if d := time.Duration(ns.DownUntilNS); d > n.DownUntil {
+			n.DownUntil = d
+		}
+		if ns.NextID > n.nextID {
+			n.nextID = ns.NextID
+		}
+		for _, cs := range ns.Containers {
+			fn, ok := s.fns[cs.Function]
+			if !ok || !n.HasRoomFor(cs.MemMB) {
+				quarantined[cs.Function] = true
+				continue
+			}
+			n.Containers = append(n.Containers, &Container{
+				ID:        cs.ID,
+				Fn:        fn,
+				MemMB:     cs.MemMB,
+				BusyUntil: time.Duration(cs.BusyUntilNS),
+				LastDone:  time.Duration(cs.LastDoneNS),
+				Created:   time.Duration(cs.CreatedNS),
+			})
+		}
+	}
+	out := make([]string, 0, len(quarantined))
+	for f := range quarantined {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/planner"
+	"repro/internal/supervisor"
 	"repro/internal/workload"
 )
 
@@ -74,6 +75,18 @@ type Config struct {
 	// OutageDuration is how long a failed node stays down before routing
 	// considers it again (default 30 s).
 	OutageDuration time.Duration
+	// WatchdogFactor enables the supervision watchdog: a transformation
+	// exceeding WatchdogFactor× its planned cost is cancelled and recovered
+	// through the safeguard path (StartTimeout). Values at or below 1
+	// disable the watchdog, leaving hung transforms undetected.
+	WatchdogFactor float64
+	// HangFactor is how far past its planned cost an *undetected* hung
+	// transformation runs before finishing (default 10×). Only consulted
+	// when Faults.Hang fires without a watchdog configured.
+	HangFactor float64
+	// Breaker configures the per-(src→dst)-pair transform circuit breaker;
+	// the zero value (Threshold 0) disables it.
+	Breaker supervisor.BreakerConfig
 }
 
 // memoryMode derives the allocation mode from the config.
@@ -116,6 +129,9 @@ func (c Config) withDefaults() Config {
 	if c.OutageDuration <= 0 {
 		c.OutageDuration = 30 * time.Second
 	}
+	if c.HangFactor <= 1 {
+		c.HangFactor = 10
+	}
 	return c
 }
 
@@ -142,6 +158,9 @@ type Simulator struct {
 	inj *faults.Injector
 	// TransformsFailed counts injected transformation failures.
 	TransformsFailed int
+
+	watchdog *supervisor.Watchdog
+	breaker  *supervisor.Breaker
 }
 
 // New builds a simulator over the given functions.
@@ -174,6 +193,8 @@ func New(cfg Config, fns []*Function) *Simulator {
 	s.lastArrival = make(map[string]time.Duration)
 	s.meanGap = make(map[string]time.Duration)
 	s.inj = faults.New(cfg.Seed^0x5f3759df, cfg.Faults)
+	s.watchdog = supervisor.NewWatchdog(supervisor.WatchdogConfig{Factor: cfg.WatchdogFactor})
+	s.breaker = supervisor.NewBreaker(cfg.Breaker)
 	s.env.MeanInterArrival = func(fn string) (time.Duration, bool) {
 		g, ok := s.meanGap[fn]
 		return g, ok
@@ -282,6 +303,7 @@ func (s *Simulator) failNode(n *Node) {
 	n.queue = nil
 	for _, c := range lost {
 		c.dead = true
+		s.watchdog.Expire(c.ID)
 		if c.serving != nil {
 			s.retryOrDrop(*c.serving)
 			c.serving = nil
@@ -387,19 +409,67 @@ func (s *Simulator) serveOrQueue(node *Node, fn *Function, arrival time.Duration
 	}
 }
 
-// injectFaults applies transform-abort and load-failure faults to a policy
-// decision, returning the (possibly degraded) decision.
-func (s *Simulator) injectFaults(d Decision, fn *Function) Decision {
-	if d.Kind == metrics.StartTransform && d.Reuse != nil && s.inj.Fire(faults.Transform) {
-		// The transformation aborts halfway through and the container
-		// recovers by discarding the partial state and loading the
-		// destination model from scratch (the safeguard's recovery path).
-		d.Load = d.Load/2 + s.env.Profile.ModelLoad(fn.Model).Total()
-		d.Kind = metrics.StartFallback
-		s.TransformsFailed++
-		s.collector.Faults.TransformFallbacks++
+// transformPair names the (src→dst) model pair a transform decision acts on,
+// for circuit-breaker bookkeeping.
+func transformPair(d Decision, fn *Function) (src, dst string) {
+	if d.Plan != nil {
+		return d.Plan.SrcName, d.Plan.DstName
 	}
-	if (d.Kind == metrics.StartCold || d.Kind == metrics.StartFallback) && s.inj.Fire(faults.Load) {
+	return d.Reuse.Fn.Name, fn.Name
+}
+
+// superviseDecision applies the supervision layer and fault injection to a
+// policy decision: the circuit breaker may short-circuit a transform to a
+// from-scratch load, injected aborts take the safeguard fallback, injected
+// hangs are either cancelled by the watchdog at their deadline or run
+// undetected for HangFactor× the plan, and from-scratch loads may fail and
+// restart. Returns the (possibly degraded) decision.
+func (s *Simulator) superviseDecision(d Decision, fn *Function, now time.Duration) Decision {
+	if d.Kind == metrics.StartTransform && d.Reuse != nil {
+		src, dst := transformPair(d, fn)
+		if !s.breaker.Allow(src, dst, now) {
+			// The pair's breaker is open: skip the doomed transform attempt
+			// entirely and load from scratch (still saving sandbox init).
+			d.Kind = metrics.StartBreaker
+			d.Load = s.env.Profile.ModelLoad(fn.Model).Total()
+			d.Plan = nil
+			s.collector.Faults.BreakerShortCircuits++
+		} else {
+			switch {
+			case s.inj.Fire(faults.Transform):
+				// The transformation aborts halfway through and the container
+				// recovers by discarding the partial state and loading the
+				// destination model from scratch (the safeguard's recovery path).
+				d.Load = d.Load/2 + s.env.Profile.ModelLoad(fn.Model).Total()
+				d.Kind = metrics.StartFallback
+				s.TransformsFailed++
+				s.collector.Faults.TransformFallbacks++
+				s.breaker.RecordFailure(src, dst, now)
+			case s.inj.Fire(faults.Hang):
+				s.collector.Faults.Hangs++
+				planned := d.Load
+				if s.watchdog != nil {
+					// The watchdog cancels the hung transform at its deadline
+					// and the safeguard loads from scratch: the request pays
+					// the full deadline window plus the fresh load.
+					d.Load = s.watchdog.Deadline(planned) + s.env.Profile.ModelLoad(fn.Model).Total()
+					d.Kind = metrics.StartTimeout
+					s.watchdog.RecordCancel()
+					s.collector.Faults.WatchdogCancels++
+					s.breaker.RecordFailure(src, dst, now)
+				} else {
+					// Undetected: the transform stalls for HangFactor× the
+					// plan before eventually finishing on its own.
+					d.Load = time.Duration(float64(planned) * s.cfg.HangFactor)
+					s.breaker.RecordSuccess(src, dst)
+				}
+			default:
+				s.breaker.RecordSuccess(src, dst)
+			}
+		}
+	}
+	if (d.Kind == metrics.StartCold || d.Kind == metrics.StartFallback ||
+		d.Kind == metrics.StartTimeout || d.Kind == metrics.StartBreaker) && s.inj.Fire(faults.Load) {
 		// The from-scratch load dies partway in and restarts: half the
 		// attempted load is wasted, then the full load runs again.
 		d.Load += d.Load / 2
@@ -426,7 +496,7 @@ func (s *Simulator) serve(node *Node, fn *Function, arrival time.Duration, retri
 	if s.cfg.OnlineProfiling > 0 && d.Plan != nil && d.Reuse != nil && !d.Plan.LoadFromScratch {
 		s.observeExecution(d.Plan, d.Reuse.Fn.Model)
 	}
-	d = s.injectFaults(d, fn)
+	d = s.superviseDecision(d, fn, now)
 
 	c := d.Reuse
 	if c == nil {
@@ -446,6 +516,7 @@ func (s *Simulator) serve(node *Node, fn *Function, arrival time.Duration, retri
 		crashAt := now + service/2
 		c.BusyUntil = crashAt
 		c.serving = &inflight{fn: fn, arrival: arrival, retries: retries}
+		s.watchdog.Lease(c.ID, crashAt)
 		s.collector.Faults.Crashes++
 		s.schedule(crashAt, func() { s.crash(node, c) })
 		return true
@@ -453,6 +524,7 @@ func (s *Simulator) serve(node *Node, fn *Function, arrival time.Duration, retri
 	end := now + service
 	c.BusyUntil = end
 	c.serving = &inflight{fn: fn, arrival: arrival, retries: retries}
+	s.watchdog.Lease(c.ID, end)
 	s.collector.Add(metrics.Record{
 		Function: fn.Name,
 		Kind:     d.Kind,
@@ -477,6 +549,7 @@ func (s *Simulator) crash(node *Node, c *Container) {
 	}
 	c.dead = true
 	node.Remove(c)
+	s.watchdog.Expire(c.ID)
 	if c.serving != nil {
 		s.retryOrDrop(*c.serving)
 		c.serving = nil
@@ -491,6 +564,7 @@ func (s *Simulator) complete(node *Node, c *Container) {
 	}
 	c.LastDone = s.clock
 	c.serving = nil
+	s.watchdog.Complete(c.ID)
 	s.drainQueue(node)
 }
 
@@ -543,6 +617,12 @@ func (s *Simulator) observeExecution(plan *metaop.Plan, src *model.Graph) {
 
 // Estimator exposes the planner's (possibly learning) cost estimator.
 func (s *Simulator) Estimator() *cost.Estimator { return s.est }
+
+// Breaker exposes the transform circuit breaker (nil when disabled).
+func (s *Simulator) Breaker() *supervisor.Breaker { return s.breaker }
+
+// Watchdog exposes the supervision watchdog (nil when disabled).
+func (s *Simulator) Watchdog() *supervisor.Watchdog { return s.watchdog }
 
 // Nodes exposes the simulated nodes (for tests and reporting).
 func (s *Simulator) Nodes() []*Node { return s.nodes }

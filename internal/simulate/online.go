@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/supervisor"
 )
 
 // ErrRequestDropped marks a request abandoned after exhausting its
@@ -142,7 +143,7 @@ func (o *Online) Invoke(name string, now time.Duration) (metrics.Record, error) 
 		node.EvictExpired(start, s.env.KeepAlive)
 		d, ok := s.cfg.Policy.Serve(s.env, node, fn, start)
 		if ok {
-			d = s.injectFaults(d, fn)
+			d = s.superviseDecision(d, fn, start)
 			c := d.Reuse
 			if c == nil {
 				c = node.newContainer(fn, s.env.GrantFor(fn), start)
@@ -209,7 +210,14 @@ func (s *Simulator) outageOnline(n *Node, now time.Duration) {
 	for _, c := range n.Containers {
 		c.dead = true
 		c.serving = nil
+		s.watchdog.Expire(c.ID)
 	}
 	n.Containers = nil
 	s.collector.Faults.Outages++
 }
+
+// Breaker exposes the transform circuit breaker (nil when disabled).
+func (o *Online) Breaker() *supervisor.Breaker { return o.sim.breaker }
+
+// Watchdog exposes the supervision watchdog (nil when disabled).
+func (o *Online) Watchdog() *supervisor.Watchdog { return o.sim.watchdog }

@@ -1,0 +1,127 @@
+package supervisor
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+)
+
+// CheckpointVersion is the on-disk format version; Load rejects mismatches so
+// a format change never silently misparses an old file.
+const CheckpointVersion = 1
+
+// Checkpoint is the durable snapshot of an optimus-server: the registered
+// model manifests, the cluster/container state, and the metrics counters.
+// Written atomically (tmp+rename) so a crash mid-write leaves the previous
+// snapshot intact.
+type Checkpoint struct {
+	Version int `json:"version"`
+	// Models holds the registered models' JSON manifests verbatim, as stored
+	// in the repository.
+	Models []json.RawMessage `json:"models"`
+	// Cluster is the simulated cluster's node and container state.
+	Cluster ClusterState `json:"cluster"`
+	// Metrics is the request-record history and fault tallies.
+	Metrics MetricsState `json:"metrics"`
+	// Shed and Panics carry the gateway's hardening counters across restarts.
+	Shed   int64 `json:"shed"`
+	Panics int64 `json:"panics"`
+}
+
+// ClusterState snapshots the simulated cluster in virtual time. Durations are
+// serialized as int64 nanoseconds to keep the JSON stable and explicit.
+type ClusterState struct {
+	// ClockNS is the virtual clock at snapshot time, in nanoseconds.
+	ClockNS int64       `json:"clock_ns"`
+	Nodes   []NodeState `json:"nodes"`
+}
+
+// NodeState snapshots one worker node.
+type NodeState struct {
+	ID int `json:"id"`
+	// DownUntilNS is the end of an in-progress outage (0 when healthy).
+	DownUntilNS int64 `json:"down_until_ns"`
+	// NextID seeds the node's container ID counter so restored and freshly
+	// created containers never collide.
+	NextID     int              `json:"next_id"`
+	Containers []ContainerState `json:"containers"`
+}
+
+// ContainerState snapshots one container.
+type ContainerState struct {
+	ID int `json:"id"`
+	// Function is the function (model) the container holds; restore
+	// quarantines containers whose function is no longer registered.
+	Function    string `json:"function"`
+	MemMB       int    `json:"mem_mb"`
+	BusyUntilNS int64  `json:"busy_until_ns"`
+	LastDoneNS  int64  `json:"last_done_ns"`
+	CreatedNS   int64  `json:"created_ns"`
+}
+
+// MetricsState snapshots the metrics collector.
+type MetricsState struct {
+	Records []metrics.Record   `json:"records"`
+	Faults  metrics.FaultStats `json:"faults"`
+}
+
+// Save writes the checkpoint atomically: marshal to a temp file in the target
+// directory, fsync-free rename over the destination. The injector (which may
+// be nil) can fail the write deterministically via faults.CheckpointWrite; a
+// failed or faulted write removes the temp file and leaves any previous
+// checkpoint untouched.
+func Save(path string, cp *Checkpoint, inj *faults.Injector) error {
+	cp.Version = CheckpointVersion
+	data, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("create checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { os.Remove(tmpName) }
+	if inj.Fire(faults.CheckpointWrite) {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("checkpoint write to %s: injected write fault", path)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("write checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("close checkpoint temp file: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		cleanup()
+		return fmt.Errorf("commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates a checkpoint. A missing file returns
+// (nil, os.ErrNotExist)-wrapped error; a corrupt or version-mismatched file
+// returns a descriptive error so the caller can fall back to a clean start.
+func Load(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("parse checkpoint %s: %w", path, err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("checkpoint %s: version %d, want %d", path, cp.Version, CheckpointVersion)
+	}
+	return &cp, nil
+}

@@ -1,0 +1,352 @@
+// Package supervisor is the control plane's recovery layer: a per-pair
+// circuit breaker that stops retrying systematically failing (src→dst)
+// transformations, a watchdog that bounds in-flight transform time and
+// per-container liveness in the simulator's virtual clock, and durable
+// checkpoint/restore for the server (checkpoint.go).
+//
+// Everything here is deterministic: state advances only when callers pass in
+// virtual-time instants, never from the wall clock, so a seeded run replays
+// the exact same breaker and watchdog transitions.
+package supervisor
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position in the classic three-state
+// machine.
+type BreakerState uint8
+
+const (
+	// BreakerClosed passes transform attempts through normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen short-circuits attempts straight to a from-scratch load.
+	BreakerOpen
+	// BreakerHalfOpen lets a single probe attempt through after the cooldown;
+	// its outcome decides between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig parameterizes the per-pair circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive transform failures for one
+	// (src→dst) pair that opens its breaker. Zero or negative disables the
+	// breaker entirely (NewBreaker returns nil).
+	Threshold int
+	// Cooldown is how long an open breaker waits before letting a half-open
+	// probe through. Zero or negative uses DefaultBreakerCooldown.
+	Cooldown time.Duration
+}
+
+// DefaultBreakerCooldown is the open-state wait before a half-open probe when
+// the config leaves Cooldown unset.
+const DefaultBreakerCooldown = 5 * time.Minute
+
+// BreakerStats tallies breaker transitions and short-circuits over a run.
+type BreakerStats struct {
+	// Opens counts closed→open transitions (threshold reached).
+	Opens int
+	// Reopens counts half-open probes that failed and re-opened the breaker.
+	Reopens int
+	// Closes counts half-open probes that succeeded and closed the breaker.
+	Closes int
+	// ShortCircuits counts transform attempts rejected by an open breaker.
+	ShortCircuits int
+	// Probes counts half-open probe attempts let through after the cooldown.
+	Probes int
+}
+
+type pairState struct {
+	fails    int
+	state    BreakerState
+	openedAt time.Duration
+}
+
+// Breaker is a set of per-(src→dst)-pair circuit breakers over model
+// transformations. A nil *Breaker is valid: Allow always returns true and the
+// record methods are no-ops, so callers thread it without nil checks. All
+// methods are safe for concurrent use.
+type Breaker struct {
+	mu    sync.Mutex
+	cfg   BreakerConfig
+	pairs map[[2]string]*pairState
+	stats BreakerStats
+}
+
+// NewBreaker returns a breaker for the config, or nil when Threshold is
+// unset (breaker disabled).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold <= 0 {
+		return nil
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = DefaultBreakerCooldown
+	}
+	return &Breaker{cfg: cfg, pairs: make(map[[2]string]*pairState)}
+}
+
+func (b *Breaker) pair(src, dst string) *pairState {
+	key := [2]string{src, dst}
+	p := b.pairs[key]
+	if p == nil {
+		p = &pairState{}
+		b.pairs[key] = p
+	}
+	return p
+}
+
+// Allow reports whether a src→dst transform attempt may proceed at virtual
+// time now. An open breaker past its cooldown admits the attempt as a
+// half-open probe; otherwise open and half-open (probe already in flight)
+// reject, counting a short-circuit.
+func (b *Breaker) Allow(src, dst string, now time.Duration) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := b.pair(src, dst)
+	switch p.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now-p.openedAt >= b.cfg.Cooldown {
+			p.state = BreakerHalfOpen
+			b.stats.Probes++
+			return true
+		}
+		b.stats.ShortCircuits++
+		return false
+	default: // BreakerHalfOpen: probe already in flight.
+		b.stats.ShortCircuits++
+		return false
+	}
+}
+
+// RecordFailure notes a failed (aborted or watchdog-cancelled) transform for
+// the pair at virtual time now. In half-open it re-opens the breaker; in
+// closed it opens once consecutive failures reach the threshold.
+func (b *Breaker) RecordFailure(src, dst string, now time.Duration) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := b.pair(src, dst)
+	switch p.state {
+	case BreakerHalfOpen:
+		p.state = BreakerOpen
+		p.openedAt = now
+		b.stats.Reopens++
+	case BreakerClosed:
+		p.fails++
+		if p.fails >= b.cfg.Threshold {
+			p.state = BreakerOpen
+			p.openedAt = now
+			b.stats.Opens++
+		}
+	}
+}
+
+// RecordSuccess notes a completed transform for the pair: a half-open probe
+// success closes the breaker, a closed-state success resets the consecutive
+// failure count.
+func (b *Breaker) RecordSuccess(src, dst string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := b.pair(src, dst)
+	switch p.state {
+	case BreakerHalfOpen:
+		p.state = BreakerClosed
+		p.fails = 0
+		b.stats.Closes++
+	case BreakerClosed:
+		p.fails = 0
+	}
+}
+
+// State returns the pair's current state (BreakerClosed for unseen pairs).
+func (b *Breaker) State(src, dst string) BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if p := b.pairs[[2]string{src, dst}]; p != nil {
+		return p.state
+	}
+	return BreakerClosed
+}
+
+// Stats returns a snapshot of the transition tallies.
+func (b *Breaker) Stats() BreakerStats {
+	if b == nil {
+		return BreakerStats{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// OpenPairs lists the pairs currently open or half-open as "src→dst"
+// strings, sorted, for stats reporting.
+func (b *Breaker) OpenPairs() []string {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for key, p := range b.pairs {
+		if p.state != BreakerClosed {
+			out = append(out, key[0]+"→"+key[1])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WatchdogConfig parameterizes the transform watchdog.
+type WatchdogConfig struct {
+	// Factor is the deadline multiplier: a transform exceeding Factor× its
+	// planned cost is cancelled and charged the safeguard fallback. Values
+	// at or below 1 disable the watchdog (NewWatchdog returns nil).
+	Factor float64
+}
+
+// WatchdogStats tallies watchdog activity over a run.
+type WatchdogStats struct {
+	// Cancelled counts transforms cancelled at their deadline.
+	Cancelled int
+	// LeasesIssued counts container liveness leases granted.
+	LeasesIssued int
+	// LeasesCompleted counts leases released by normal completion.
+	LeasesCompleted int
+	// LeasesExpired counts leases revoked by a crash or node outage.
+	LeasesExpired int
+}
+
+// Watchdog bounds in-flight transform time and tracks per-container liveness
+// leases, all in virtual time. A nil *Watchdog is valid and inert. Safe for
+// concurrent use.
+type Watchdog struct {
+	mu     sync.Mutex
+	factor float64
+	leases map[int]time.Duration
+	stats  WatchdogStats
+}
+
+// NewWatchdog returns a watchdog for the config, or nil when Factor is at or
+// below 1 (disabled — a factor ≤1 would cancel healthy transforms).
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.Factor <= 1 {
+		return nil
+	}
+	return &Watchdog{factor: cfg.Factor, leases: make(map[int]time.Duration)}
+}
+
+// Factor returns the deadline multiplier (0 for a nil watchdog).
+func (w *Watchdog) Factor() float64 {
+	if w == nil {
+		return 0
+	}
+	return w.factor
+}
+
+// Deadline returns the cancellation deadline for a transform of the given
+// planned cost: Factor× the plan.
+func (w *Watchdog) Deadline(planned time.Duration) time.Duration {
+	if w == nil {
+		return planned
+	}
+	return time.Duration(float64(planned) * w.factor)
+}
+
+// RecordCancel tallies one deadline cancellation.
+func (w *Watchdog) RecordCancel() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.stats.Cancelled++
+	w.mu.Unlock()
+}
+
+// Lease grants (or renews) a liveness lease for the container until the given
+// virtual-time instant.
+func (w *Watchdog) Lease(containerID int, until time.Duration) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if _, ok := w.leases[containerID]; !ok {
+		w.stats.LeasesIssued++
+	}
+	w.leases[containerID] = until
+	w.mu.Unlock()
+}
+
+// Complete releases the container's lease after normal completion.
+func (w *Watchdog) Complete(containerID int) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if _, ok := w.leases[containerID]; ok {
+		delete(w.leases, containerID)
+		w.stats.LeasesCompleted++
+	}
+	w.mu.Unlock()
+}
+
+// Expire revokes the container's lease after a crash or node outage.
+func (w *Watchdog) Expire(containerID int) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if _, ok := w.leases[containerID]; ok {
+		delete(w.leases, containerID)
+		w.stats.LeasesExpired++
+	}
+	w.mu.Unlock()
+}
+
+// Active returns the number of outstanding leases.
+func (w *Watchdog) Active() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.leases)
+}
+
+// Stats returns a snapshot of the watchdog tallies.
+func (w *Watchdog) Stats() WatchdogStats {
+	if w == nil {
+		return WatchdogStats{}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}

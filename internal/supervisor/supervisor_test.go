@@ -1,0 +1,249 @@
+package supervisor
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+)
+
+func TestBreakerDisabledIsNil(t *testing.T) {
+	if b := NewBreaker(BreakerConfig{}); b != nil {
+		t.Fatal("zero threshold should disable the breaker")
+	}
+	var b *Breaker
+	if !b.Allow("a", "b", 0) {
+		t.Fatal("nil breaker must always allow")
+	}
+	b.RecordFailure("a", "b", 0) // must not panic
+	b.RecordSuccess("a", "b")
+	if got := b.State("a", "b"); got != BreakerClosed {
+		t.Fatalf("nil breaker state = %v, want closed", got)
+	}
+	if b.Stats() != (BreakerStats{}) {
+		t.Fatal("nil breaker has stats")
+	}
+}
+
+func TestBreakerOpensAfterExactlyN(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Minute})
+	for i := 0; i < 2; i++ {
+		b.RecordFailure("src", "dst", time.Duration(i))
+		if st := b.State("src", "dst"); st != BreakerClosed {
+			t.Fatalf("after %d failures state = %v, want closed", i+1, st)
+		}
+	}
+	b.RecordFailure("src", "dst", 2)
+	if st := b.State("src", "dst"); st != BreakerOpen {
+		t.Fatalf("after 3 failures state = %v, want open", st)
+	}
+	if st := b.Stats(); st.Opens != 1 {
+		t.Fatalf("Opens = %d, want 1", st.Opens)
+	}
+	// Other pairs are independent.
+	if st := b.State("src", "other"); st != BreakerClosed {
+		t.Fatalf("unrelated pair state = %v, want closed", st)
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 2})
+	b.RecordFailure("a", "b", 0)
+	b.RecordSuccess("a", "b") // breaks the streak
+	b.RecordFailure("a", "b", 1)
+	if st := b.State("a", "b"); st != BreakerClosed {
+		t.Fatalf("non-consecutive failures opened the breaker: %v", st)
+	}
+	b.RecordFailure("a", "b", 2)
+	if st := b.State("a", "b"); st != BreakerOpen {
+		t.Fatalf("2 consecutive failures left state %v", st)
+	}
+}
+
+func TestBreakerCooldownProbeAndClose(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Minute})
+	b.RecordFailure("a", "b", 0)
+	if b.Allow("a", "b", 30*time.Second) {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	// Past the cooldown: one probe goes through, concurrent attempts are
+	// still rejected while it is in flight.
+	if !b.Allow("a", "b", 2*time.Minute) {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	if st := b.State("a", "b"); st != BreakerHalfOpen {
+		t.Fatalf("probe state = %v, want half-open", st)
+	}
+	if b.Allow("a", "b", 2*time.Minute) {
+		t.Fatal("second attempt admitted while probe in flight")
+	}
+	b.RecordSuccess("a", "b")
+	if st := b.State("a", "b"); st != BreakerClosed {
+		t.Fatalf("probe success left state %v", st)
+	}
+	st := b.Stats()
+	if st.Probes != 1 || st.Closes != 1 || st.ShortCircuits != 2 {
+		t.Fatalf("stats = %+v, want 1 probe, 1 close, 2 short-circuits", st)
+	}
+	if pairs := b.OpenPairs(); len(pairs) != 0 {
+		t.Fatalf("closed breaker listed as open: %v", pairs)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Minute})
+	b.RecordFailure("a", "b", 0)
+	if !b.Allow("a", "b", time.Minute) {
+		t.Fatal("no probe after cooldown")
+	}
+	b.RecordFailure("a", "b", time.Minute)
+	if st := b.State("a", "b"); st != BreakerOpen {
+		t.Fatalf("probe failure left state %v, want open", st)
+	}
+	if st := b.Stats(); st.Reopens != 1 {
+		t.Fatalf("Reopens = %d, want 1", st.Reopens)
+	}
+	// The cooldown restarts from the reopen instant.
+	if b.Allow("a", "b", time.Minute+30*time.Second) {
+		t.Fatal("reopened breaker admitted a request before the fresh cooldown elapsed")
+	}
+	if pairs := b.OpenPairs(); len(pairs) != 1 || pairs[0] != "a→b" {
+		t.Fatalf("OpenPairs = %v", pairs)
+	}
+}
+
+func TestWatchdogDeadlineAndStats(t *testing.T) {
+	if w := NewWatchdog(WatchdogConfig{Factor: 1}); w != nil {
+		t.Fatal("factor 1 should disable the watchdog")
+	}
+	var nilW *Watchdog
+	if d := nilW.Deadline(time.Second); d != time.Second {
+		t.Fatalf("nil watchdog deadline = %v", d)
+	}
+	nilW.Lease(1, time.Second) // must not panic
+	nilW.Complete(1)
+	nilW.Expire(1)
+
+	w := NewWatchdog(WatchdogConfig{Factor: 2.5})
+	if d := w.Deadline(2 * time.Second); d != 5*time.Second {
+		t.Fatalf("deadline = %v, want 5s", d)
+	}
+	w.Lease(1, time.Second)
+	w.Lease(1, 2*time.Second) // renewal, not a second issue
+	w.Lease(2, time.Second)
+	if got := w.Active(); got != 2 {
+		t.Fatalf("active leases = %d, want 2", got)
+	}
+	w.Complete(1)
+	w.Expire(2)
+	w.Expire(2) // double-expire is a no-op
+	st := w.Stats()
+	if st.LeasesIssued != 2 || st.LeasesCompleted != 1 || st.LeasesExpired != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if w.Active() != 0 {
+		t.Fatal("leases leaked")
+	}
+}
+
+func checkpointFixture() *Checkpoint {
+	return &Checkpoint{
+		Cluster: ClusterState{
+			ClockNS: int64(3 * time.Minute),
+			Nodes: []NodeState{{
+				ID: 0, NextID: 2,
+				Containers: []ContainerState{{ID: 0, Function: "resnet18-imagenet", LastDoneNS: int64(time.Minute)}},
+			}},
+		},
+		Metrics: MetricsState{
+			Records: []metrics.Record{{Function: "resnet18-imagenet", End: time.Second}},
+			Faults:  metrics.FaultStats{Crashes: 1},
+		},
+		Shed: 4,
+	}
+}
+
+func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	want := checkpointFixture()
+	if err := Save(path, want, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != CheckpointVersion {
+		t.Fatalf("version = %d", got.Version)
+	}
+	if got.Shed != 4 || got.Metrics.Faults.Crashes != 1 || len(got.Metrics.Records) != 1 {
+		t.Fatalf("round trip lost state: %+v", got)
+	}
+	if len(got.Cluster.Nodes) != 1 || got.Cluster.Nodes[0].Containers[0].Function != "resnet18-imagenet" {
+		t.Fatalf("cluster state lost: %+v", got.Cluster)
+	}
+	// No stray temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want only the checkpoint", len(entries))
+	}
+}
+
+func TestCheckpointLoadRejectsCorruptAndMismatched(t *testing.T) {
+	dir := t.TempDir()
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(corrupt); err == nil {
+		t.Fatal("corrupt checkpoint loaded without error")
+	}
+	versioned := filepath.Join(dir, "versioned.json")
+	if err := os.WriteFile(versioned, []byte(`{"version": 999}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(versioned); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch error = %v", err)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing checkpoint loaded")
+	}
+}
+
+func TestCheckpointInjectedWriteFaultKeepsPrevious(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := Save(path, checkpointFixture(), nil); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(1, faults.Rates{CheckpointWrite: 1})
+	updated := checkpointFixture()
+	updated.Shed = 99
+	if err := Save(path, updated, inj); err == nil {
+		t.Fatal("rate-1 checkpoint-write fault did not fail the save")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("failed save corrupted the previous checkpoint")
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("failed save left temp files: %d entries", len(entries))
+	}
+}

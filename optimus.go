@@ -14,6 +14,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/policy"
 	"repro/internal/simulate"
+	"repro/internal/supervisor"
 	"repro/internal/workload"
 	"repro/internal/zoo"
 )
@@ -229,6 +230,18 @@ type SystemConfig struct {
 	MaxRetries int
 	// OutageDuration is how long a failed node stays down (default 30 s).
 	OutageDuration time.Duration
+	// WatchdogFactor enables the supervision watchdog: transformations
+	// exceeding WatchdogFactor× their planned cost are cancelled and
+	// recovered through the safeguard path. Values ≤ 1 disable it.
+	WatchdogFactor float64
+	// BreakerThreshold enables the per-(src→dst)-pair transform circuit
+	// breaker: after this many consecutive failures the pair routes
+	// straight to from-scratch loads until a cooled-down probe succeeds.
+	// Zero disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the open-breaker wait before a half-open probe
+	// (default 5 min).
+	BreakerCooldown time.Duration
 }
 
 // System is a serverless ML inference cluster: functions bound to models,
@@ -315,6 +328,11 @@ func (s *System) Run(trace *Trace) (*Report, error) {
 		Faults:               s.cfg.Faults,
 		MaxRetries:           s.cfg.MaxRetries,
 		OutageDuration:       s.cfg.OutageDuration,
+		WatchdogFactor:       s.cfg.WatchdogFactor,
+		Breaker: supervisor.BreakerConfig{
+			Threshold: s.cfg.BreakerThreshold,
+			Cooldown:  s.cfg.BreakerCooldown,
+		},
 	}, s.fns)
 	col, err := sim.Run(trace)
 	if err != nil {
@@ -353,9 +371,14 @@ func (r *Report) FaultSummary() string {
 	if !f.Any() {
 		return ""
 	}
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"faults: %d transform fallbacks, %d load retries, %d crashes, %d outages | %d retries, %d dropped",
 		f.TransformFallbacks, f.LoadRetries, f.Crashes, f.Outages, f.Retries, f.Dropped)
+	if f.Hangs > 0 || f.WatchdogCancels > 0 || f.BreakerShortCircuits > 0 {
+		out += fmt.Sprintf(" | %d hangs (%d watchdog-cancelled), %d breaker short-circuits",
+			f.Hangs, f.WatchdogCancels, f.BreakerShortCircuits)
+	}
+	return out
 }
 
 // Summary renders a human-readable digest of the run.
