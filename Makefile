@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench check
+.PHONY: build vet test race bench microbench benchguard fuzz check
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,27 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the reproducible benchmark baseline harness and leaves
+# BENCH_planner.json + BENCH_sim.json in the repo root.
 bench:
+	$(GO) run ./cmd/optimus-bench bench
+
+# microbench runs the Go testing.B microbenchmarks of the root package.
+microbench:
 	$(GO) test -bench=. -benchmem .
 
-# check is the pre-merge gate: static analysis, a full build, and the test
-# suite under the race detector (the gateway stress test needs it).
-check: vet build race
+# benchguard is the benchmark regression gate: the bench harness must emit
+# complete BENCH_*.json artifacts, parallel precompute must match serial
+# byte-for-byte, and (on multicore) must not be slower; the -bench smoke
+# keeps the precompute benchmarks compiling and running.
+benchguard:
+	$(GO) test -run 'TestBench' -bench 'BenchmarkPrecompute' -benchtime=1x ./internal/experiments
+
+# fuzz runs a short native-fuzzing smoke over the plan executor.
+fuzz:
+	$(GO) test -fuzz='^FuzzPlanApply$$' -fuzztime=10s -run '^$$' ./internal/planner
+
+# check is the pre-merge gate: static analysis, a full build, the test
+# suite under the race detector (the gateway stress test needs it), and the
+# benchmark regression guard.
+check: vet build race benchguard

@@ -33,6 +33,8 @@ func main() {
 		horizon = flag.Duration("horizon", 24*time.Hour, "workload horizon for the end-to-end experiments")
 		pairs   = flag.Int("pairs", 500, "random pairs for fig12")
 		chaosRt = flag.String("chaos-rates", "", "comma-separated fault rates for the chaos/recovery sweeps (defaults per experiment)")
+		outDir  = flag.String("out", ".", "directory for the bench experiment's BENCH_*.json artifacts")
+		planWrk = flag.Int("plan-workers", 0, "parallel planning workers for the bench experiment (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -45,6 +47,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: optimus-bench [flags] <experiment>... | all")
 		fmt.Fprintln(os.Stderr, "experiments: fig2 fig3 fig4 fig5a fig5c fig8 fig11 fig12 fig13 fig14 fig15 fig16 table1")
 		fmt.Fprintln(os.Stderr, "ablations:   ablation-planner ablation-safeguard ablation-cache ablation-balancer ablation-idle ablation-online ablation-alloc sweep-nodes sweep-load chaos recovery")
+		fmt.Fprintln(os.Stderr, "baselines:   bench (emits BENCH_planner.json + BENCH_sim.json into -out)")
 		os.Exit(2)
 	}
 
@@ -148,6 +151,13 @@ func main() {
 			out, result = r.Render(), r
 		case "recovery":
 			r := experiments.Recovery(o, sweepRates, *horizon)
+			out, result = r.Render(), r
+		case "bench":
+			r := experiments.Bench(o, setup, *planWrk)
+			if err := r.WriteFiles(*outDir); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 			out, result = r.Render(), r
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", a)

@@ -56,6 +56,8 @@ func main() {
 		brkCool    = flag.Duration("breaker-cooldown", 0, "open-breaker wait before a half-open probe (default 5m)")
 		ckptPath   = flag.String("checkpoint", "", "durable checkpoint file: restored on startup, written periodically and on shutdown")
 		ckptEvery  = flag.Duration("checkpoint-interval", time.Minute, "periodic checkpoint cadence (0 = shutdown-only)")
+		planWork   = flag.Int("plan-workers", 0, "offline-planning worker pool size (0 = GOMAXPROCS)")
+		planMax    = flag.Int("plan-cache-max", 0, "max cached transformation plans, LRU-evicted beyond it (0 = unbounded)")
 		seed       = flag.Int64("seed", 1, "fault-injection seed")
 	)
 	flag.Parse()
@@ -106,6 +108,7 @@ func main() {
 			Profile:           prof,
 			Policy:            pol,
 			Seed:              *seed,
+			PlanCacheMax:      *planMax,
 			Faults: faults.Rates{
 				Transform:       *faultTrans,
 				Load:            *faultLoad,
@@ -124,6 +127,7 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		MaxInflight:    *maxInfl,
 		CheckpointPath: *ckptPath,
+		PlanWorkers:    *planWork,
 	})
 
 	if *preload > 0 {

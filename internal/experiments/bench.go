@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/policy"
+	"repro/internal/simulate"
+	"repro/internal/workload"
+)
+
+// BenchPlannerFile and BenchSimFile are the artifact names `optimus-bench
+// bench` emits; CI's regression guard validates their contents.
+const (
+	BenchPlannerFile = "BENCH_planner.json"
+	BenchSimFile     = "BENCH_sim.json"
+)
+
+// PlannerBench is the offline-planning benchmark: the same fixed-seed model
+// catalog precomputed serially (one worker) and in parallel (the full pool),
+// with a byte-identity check between the two plan sets. Latencies are wall
+// clock and machine-dependent; everything else is seed-reproducible.
+type PlannerBench struct {
+	Seed    int64 `json:"seed"`
+	Models  int   `json:"models"`
+	Pairs   int   `json:"pairs"`
+	Workers int   `json:"workers"`
+	// SerialMS/ParallelMS time the full pairwise warm-up; Speedup is their
+	// ratio (the ≥2× acceptance target on ≥4 cores).
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+	// Identical reports that the parallel precompute produced byte-identical
+	// plans to the serial baseline for every pair.
+	Identical   bool    `json:"identical"`
+	PairsPerSec float64 `json:"pairs_per_sec"`
+	// Per-pair planning-time percentiles from the parallel run.
+	PlanP50MS float64 `json:"plan_p50_ms"`
+	PlanP95MS float64 `json:"plan_p95_ms"`
+	PlanP99MS float64 `json:"plan_p99_ms"`
+	// Cache counters from the parallel run: planned must equal pairs (no
+	// duplicate work), deduped counts singleflight piggybacks.
+	CachePlanned   int `json:"cache_planned"`
+	CacheDeduped   int `json:"cache_deduped"`
+	CacheEvictions int `json:"cache_evictions"`
+}
+
+// SimBench is the end-to-end simulator/gateway-path benchmark: a fixed-seed
+// mixed-Poisson workload replayed under the Optimus policy. Latency
+// percentiles, start-kind fractions and cache hit ratio are seed-reproducible;
+// wall time and throughput are machine-dependent.
+type SimBench struct {
+	Seed     int64  `json:"seed"`
+	Policy   string `json:"policy"`
+	Models   int    `json:"models"`
+	Requests int    `json:"requests"`
+	// WallMS is the replay's wall-clock time; OpsPerSec the served
+	// requests per wall-clock second (simulation throughput).
+	WallMS    float64 `json:"wall_ms"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Virtual-time service-latency statistics (seed-reproducible).
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	// Start-kind mix and plan-cache effectiveness.
+	WarmFraction      float64 `json:"warm_fraction"`
+	TransformFraction float64 `json:"transform_fraction"`
+	ColdFraction      float64 `json:"cold_fraction"`
+	CacheHitRatio     float64 `json:"cache_hit_ratio"`
+}
+
+// BenchResult bundles the two benchmark sections.
+type BenchResult struct {
+	Planner PlannerBench `json:"planner"`
+	Sim     SimBench     `json:"sim"`
+}
+
+// benchModels returns the fixed benchmark catalog: a representative slice of
+// the CNN zoo plus BERT variants, exactly the §8.1 function mix.
+func benchModels(quick bool) []*model.Graph {
+	fns := DefaultFunctionSet(quick)
+	out := make([]*model.Graph, len(fns))
+	for i, f := range fns {
+		out[i] = f.Model
+	}
+	return out
+}
+
+// Bench runs both benchmarks. workers <= 0 defaults to GOMAXPROCS.
+func Bench(o Options, setup ClusterSetup, workers int) BenchResult {
+	o = o.withDefaults()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return BenchResult{
+		Planner: benchPlanner(o, workers),
+		Sim:     benchSim(o, setup),
+	}
+}
+
+func benchPlanner(o Options, workers int) PlannerBench {
+	models := benchModels(o.Quick)
+	pairs := len(models) * (len(models) - 1)
+	res := PlannerBench{Seed: o.Seed, Models: len(models), Pairs: pairs, Workers: workers}
+
+	pl := planner.New(cost.Exact(o.Profile), planner.AlgoGroup)
+
+	serial := planner.NewCache()
+	t0 := time.Now()
+	planner.NewPrecomputer(pl, serial, 1).PrecomputeAll(models)
+	serialTook := time.Since(t0)
+
+	parallel := planner.NewCache()
+	t1 := time.Now()
+	planner.NewPrecomputer(pl, parallel, workers).PrecomputeAll(models)
+	parallelTook := time.Since(t1)
+
+	res.SerialMS = msF(serialTook)
+	res.ParallelMS = msF(parallelTook)
+	if parallelTook > 0 {
+		res.Speedup = float64(serialTook) / float64(parallelTook)
+		res.PairsPerSec = float64(pairs) / parallelTook.Seconds()
+	}
+	res.Identical = identicalPlans(serial, parallel, models)
+
+	samples, _, _, _ := parallel.PlanTimes()
+	res.PlanP50MS = msF(metrics.DurationPercentile(samples, 50))
+	res.PlanP95MS = msF(metrics.DurationPercentile(samples, 95))
+	res.PlanP99MS = msF(metrics.DurationPercentile(samples, 99))
+
+	ct := parallel.Counters()
+	res.CachePlanned = ct.Planned
+	res.CacheDeduped = ct.Deduped
+	res.CacheEvictions = ct.Evictions
+	return res
+}
+
+// identicalPlans reports whether both caches hold byte-identical plans for
+// every ordered model pair (JSON encoding covers step order, costs and the
+// safeguard decision).
+func identicalPlans(a, b *planner.Cache, models []*model.Graph) bool {
+	for i, src := range models {
+		for j, dst := range models {
+			if i == j {
+				continue
+			}
+			pa, okA := a.Get(src, dst)
+			pb, okB := b.Get(src, dst)
+			if !okA || !okB {
+				return false
+			}
+			ja, errA := json.Marshal(pa)
+			jb, errB := json.Marshal(pb)
+			if errA != nil || errB != nil || string(ja) != string(jb) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func benchSim(o Options, setup ClusterSetup) SimBench {
+	setup = setup.withDefaults(o.Quick)
+	fns := DefaultFunctionSet(o.Quick)
+	names := make([]string, len(fns))
+	for i, f := range fns {
+		names[i] = f.Name
+	}
+	trace := workload.MixedPoisson(names, setup.Horizon, o.Seed)
+
+	sim := simulate.New(simulate.Config{
+		Nodes:             setup.Nodes,
+		ContainersPerNode: setup.ContainersPerNode,
+		Profile:           o.Profile,
+		Policy:            policy.Optimus{},
+		Seed:              o.Seed,
+	}, fns)
+	t0 := time.Now()
+	col, err := sim.Run(trace)
+	if err != nil {
+		panic(err)
+	}
+	wall := time.Since(t0)
+
+	fr := col.KindFractions()
+	hits, misses := sim.Env().Plans.Stats()
+	hitRatio := 0.0
+	if hits+misses > 0 {
+		hitRatio = float64(hits) / float64(hits+misses)
+	}
+	res := SimBench{
+		Seed:              o.Seed,
+		Policy:            "optimus",
+		Models:            len(fns),
+		Requests:          col.Len(),
+		WallMS:            msF(wall),
+		MeanMS:            msF(col.MeanLatency()),
+		P50MS:             msF(col.Percentile(50)),
+		P95MS:             msF(col.Percentile(95)),
+		P99MS:             msF(col.Percentile(99)),
+		WarmFraction:      fr[metrics.StartWarm],
+		TransformFraction: fr[metrics.StartTransform],
+		ColdFraction:      fr[metrics.StartCold],
+		CacheHitRatio:     hitRatio,
+	}
+	if wall > 0 {
+		res.OpsPerSec = float64(col.Len()) / wall.Seconds()
+	}
+	return res
+}
+
+func msF(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// WriteFiles persists the two benchmark artifacts into dir, creating it if
+// needed.
+func (r BenchResult) WriteFiles(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("bench: creating %s: %w", dir, err)
+	}
+	write := func(name string, v any) error {
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644)
+	}
+	if err := write(BenchPlannerFile, r.Planner); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", BenchPlannerFile, err)
+	}
+	if err := write(BenchSimFile, r.Sim); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", BenchSimFile, err)
+	}
+	return nil
+}
+
+// Render prints the benchmark digest.
+func (r BenchResult) Render() string {
+	p, s := r.Planner, r.Sim
+	ident := "identical"
+	if !p.Identical {
+		ident = "MISMATCH"
+	}
+	return fmt.Sprintf(`Benchmark baseline (seed %d)
+planner precompute: %d models, %d pairs, %d workers
+  serial   %.1f ms
+  parallel %.1f ms  (speedup %.2fx, %.0f pairs/s, plans %s)
+  plan time p50/p95/p99: %.2f/%.2f/%.2f ms  (planned %d, deduped %d)
+simulator (%s policy): %d requests in %.1f ms wall (%.0f req/s)
+  service latency mean/p50/p95/p99: %.1f/%.1f/%.1f/%.1f ms
+  starts warm %.1f%% transform %.1f%% cold %.1f%% | plan-cache hit ratio %.1f%%`,
+		p.Seed, p.Models, p.Pairs, p.Workers,
+		p.SerialMS, p.ParallelMS, p.Speedup, p.PairsPerSec, ident,
+		p.PlanP50MS, p.PlanP95MS, p.PlanP99MS, p.CachePlanned, p.CacheDeduped,
+		s.Policy, s.Requests, s.WallMS, s.OpsPerSec,
+		s.MeanMS, s.P50MS, s.P95MS, s.P99MS,
+		100*s.WarmFraction, 100*s.TransformFraction, 100*s.ColdFraction, 100*s.CacheHitRatio)
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/planner"
+)
+
+// requiredBenchKeys are the JSON keys each benchmark artifact must carry;
+// the regression guard fails if a key disappears, so downstream tooling
+// (and future PRs comparing against the baseline) can rely on them.
+var (
+	requiredPlannerKeys = []string{
+		"seed", "models", "pairs", "workers", "serial_ms", "parallel_ms",
+		"speedup", "identical", "pairs_per_sec",
+		"plan_p50_ms", "plan_p95_ms", "plan_p99_ms",
+		"cache_planned", "cache_deduped", "cache_evictions",
+	}
+	requiredSimKeys = []string{
+		"seed", "policy", "models", "requests", "wall_ms", "ops_per_sec",
+		"mean_ms", "p50_ms", "p95_ms", "p99_ms",
+		"warm_fraction", "transform_fraction", "cold_fraction", "cache_hit_ratio",
+	}
+)
+
+func loadKeys(t *testing.T, path string) map[string]any {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("decoding %s: %v", path, err)
+	}
+	return m
+}
+
+// TestBenchArtifactsGuard is the benchmark regression guard: the bench
+// harness must emit both artifacts with every required key, parallel
+// precompute must produce byte-identical plans to serial with no duplicate
+// planning work, and on multicore runners the parallel warm-up must not be
+// slower than serial.
+func TestBenchArtifactsGuard(t *testing.T) {
+	o := Options{Seed: 7, Quick: true}
+	res := Bench(o, ClusterSetup{}, 0)
+	dir := t.TempDir()
+	if err := res.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	pm := loadKeys(t, filepath.Join(dir, BenchPlannerFile))
+	for _, k := range requiredPlannerKeys {
+		if _, ok := pm[k]; !ok {
+			t.Errorf("%s missing required key %q", BenchPlannerFile, k)
+		}
+	}
+	sm := loadKeys(t, filepath.Join(dir, BenchSimFile))
+	for _, k := range requiredSimKeys {
+		if _, ok := sm[k]; !ok {
+			t.Errorf("%s missing required key %q", BenchSimFile, k)
+		}
+	}
+
+	if !res.Planner.Identical {
+		t.Error("parallel precompute produced plans differing from serial")
+	}
+	if res.Planner.CachePlanned != res.Planner.Pairs {
+		t.Errorf("parallel precompute planned %d of %d pairs (duplicates or losses)",
+			res.Planner.CachePlanned, res.Planner.Pairs)
+	}
+	if res.Sim.Requests == 0 {
+		t.Error("sim bench served no requests")
+	}
+	// The speedup bound only holds where there is parallel hardware: on
+	// single-core runners the pool degenerates to serial plus overhead.
+	if runtime.NumCPU() >= 4 && res.Planner.Speedup < 1.0 {
+		t.Errorf("parallel precompute slower than serial on %d cores: speedup %.2f",
+			runtime.NumCPU(), res.Planner.Speedup)
+	}
+}
+
+// TestBenchSeedReproducible asserts the virtual-time numbers (everything but
+// wall clock) are identical across runs with the same seed.
+func TestBenchSeedReproducible(t *testing.T) {
+	o := Options{Seed: 11, Quick: true}
+	a := Bench(o, ClusterSetup{}, 0)
+	b := Bench(o, ClusterSetup{}, 0)
+	if a.Sim.Requests != b.Sim.Requests ||
+		a.Sim.MeanMS != b.Sim.MeanMS ||
+		a.Sim.P50MS != b.Sim.P50MS ||
+		a.Sim.P95MS != b.Sim.P95MS ||
+		a.Sim.P99MS != b.Sim.P99MS ||
+		a.Sim.WarmFraction != b.Sim.WarmFraction ||
+		a.Sim.CacheHitRatio != b.Sim.CacheHitRatio {
+		t.Errorf("sim bench not seed-reproducible:\n%+v\n%+v", a.Sim, b.Sim)
+	}
+	if a.Planner.Pairs != b.Planner.Pairs || !a.Planner.Identical || !b.Planner.Identical {
+		t.Errorf("planner bench not seed-reproducible:\n%+v\n%+v", a.Planner, b.Planner)
+	}
+}
+
+// benchPrecompute is the `go test -bench` smoke shared by the serial and
+// parallel variants (make benchguard / CI).
+func benchPrecompute(b *testing.B, workers int) {
+	models := benchModels(true)
+	pl := planner.New(cost.Exact(cost.CPU()), planner.AlgoGroup)
+	pairs := len(models) * (len(models) - 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		planner.NewPrecomputer(pl, planner.NewCache(), workers).PrecomputeAll(models)
+	}
+	b.ReportMetric(float64(pairs), "pairs/op")
+}
+
+func BenchmarkPrecomputeSerial(b *testing.B)   { benchPrecompute(b, 1) }
+func BenchmarkPrecomputeParallel(b *testing.B) { benchPrecompute(b, 0) }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/metaop"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/planner"
 	"repro/internal/policy"
 	"repro/internal/repository"
 	"repro/internal/simulate"
@@ -68,6 +69,10 @@ type Config struct {
 	// are no longer registered. A corrupt file logs a warning and the
 	// gateway starts clean.
 	CheckpointPath string
+	// PlanWorkers bounds the offline-planning worker pool that precomputes
+	// pairwise transformation plans in the background when models register
+	// (§4.4 Module 3). Zero or negative defaults to GOMAXPROCS.
+	PlanWorkers int
 }
 
 // Gateway is the HTTP control plane.
@@ -77,6 +82,9 @@ type Gateway struct {
 	now    func() time.Duration
 	models map[string]*model.Graph
 	store  *repository.Store
+	// pre is the parallel offline-planning pipeline: registrations enqueue
+	// their pairwise plans here and return without planning inline.
+	pre *planner.Precomputer
 
 	timeout time.Duration
 	// inflight, when non-nil, is the admission semaphore bounding
@@ -118,15 +126,25 @@ func New(cfg Config) *Gateway {
 		ckptPath: cfg.CheckpointPath,
 		ckptInj:  faults.New(cfg.Cluster.Seed^0x9e3779b9, faults.Rates{CheckpointWrite: cfg.Cluster.Faults.CheckpointWrite}),
 	}
+	env := g.online.Env()
+	g.pre = planner.NewPrecomputer(env.Planner, env.Plans, cfg.PlanWorkers)
 	if cfg.MaxInflight > 0 {
 		g.inflight = make(chan struct{}, cfg.MaxInflight)
 	}
 	if g.store != nil {
+		preloaded := make([]*model.Graph, 0, g.store.Len())
 		for _, name := range g.store.Names() {
 			if m, ok := g.store.Get(name); ok {
 				g.models[m.Name] = m
 				g.online.AddFunction(&simulate.Function{Name: m.Name, Model: m})
+				preloaded = append(preloaded, m)
 			}
+		}
+		// Repository reopen: warm the plan cache for the whole preloaded
+		// catalog in the background — New returns immediately and the
+		// N·(N−1) ordered pairs fan across the worker pool.
+		for i, m := range preloaded {
+			g.pre.EnqueueAll(m, preloaded[:i])
 		}
 	}
 	if g.ckptPath != "" {
@@ -196,7 +214,11 @@ func (g *Gateway) shedLoad(next http.Handler) http.Handler {
 // RegisterModel adds a model programmatically (same path as POST
 // /api/models). When a new model registers, transformation plans against the
 // already-registered models are precomputed into the plan cache — the
-// "planning strategy caching" of §4.4 Module 3.
+// "planning strategy caching" of §4.4 Module 3. Planning runs asynchronously
+// on the gateway's bounded worker pool, so registration returns in O(1)
+// regardless of catalog size; a request arriving before its pair's plan is
+// ready falls back to planning inline through the same singleflighted cache,
+// so behaviour is unchanged. PlanningQuiesce waits for the backlog.
 func (g *Gateway) RegisterModel(m *model.Graph) error {
 	if err := m.Validate(); err != nil {
 		return err
@@ -226,13 +248,19 @@ func (g *Gateway) RegisterModel(m *model.Graph) error {
 		}
 	}
 	g.online.AddFunction(&simulate.Function{Name: m.Name, Model: m})
-	env := g.online.Env()
-	for _, other := range existing {
-		env.Plans.GetOrPlan(env.Planner, other, m)
-		env.Plans.GetOrPlan(env.Planner, m, other)
-	}
+	g.pre.EnqueueAll(m, existing)
 	return nil
 }
+
+// PlanningQuiesce blocks until the offline-planning pipeline has no
+// outstanding pairs — every registration enqueued so far is fully planned.
+func (g *Gateway) PlanningQuiesce() { g.pre.Quiesce() }
+
+// PlanningReady reports whether the offline-planning backlog is empty.
+func (g *Gateway) PlanningReady() bool { return g.pre.Ready() }
+
+// Precomputer exposes the offline-planning pipeline (for tests and stats).
+func (g *Gateway) Precomputer() *planner.Precomputer { return g.pre }
 
 func (g *Gateway) handleModels(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
@@ -478,7 +506,47 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	out["shed"] = g.shed.Load()
 	out["panics_recovered"] = g.panics.Load()
 	out["supervisor"] = g.supervisorStats()
+	out["planning"] = g.planningStats()
 	writeJSON(w, http.StatusOK, out)
+}
+
+// planningStats summarizes the offline-planning pipeline for /api/stats:
+// pipeline progress (readiness), singleflight dedup counters, plan-cache
+// occupancy and per-pair planning-time percentiles.
+func (g *Gateway) planningStats() map[string]any {
+	st := g.pre.Stats()
+	ct := g.online.Env().Plans.Counters()
+	samples, total, max, _ := g.online.Env().Plans.PlanTimes()
+	hitRatio := 0.0
+	if ct.Hits+ct.Misses > 0 {
+		hitRatio = float64(ct.Hits) / float64(ct.Hits+ct.Misses)
+	}
+	return map[string]any{
+		"workers":    st.Workers,
+		"enqueued":   st.Enqueued,
+		"completed":  st.Completed,
+		"pending":    st.Pending,
+		"peak_queue": st.PeakQueue,
+		"ready":      st.Pending == 0,
+		"cache": map[string]any{
+			"size":      ct.Size,
+			"limit":     ct.Limit,
+			"hits":      ct.Hits,
+			"misses":    ct.Misses,
+			"hit_ratio": hitRatio,
+			"planned":   ct.Planned,
+			"deduped":   ct.Deduped,
+			"evictions": ct.Evictions,
+		},
+		"plan_time": map[string]any{
+			"count":    ct.Planned,
+			"total_ms": msF(total),
+			"max_ms":   msF(max),
+			"p50_ms":   msF(metrics.DurationPercentile(samples, 50)),
+			"p95_ms":   msF(metrics.DurationPercentile(samples, 95)),
+			"p99_ms":   msF(metrics.DurationPercentile(samples, 99)),
+		},
+	}
 }
 
 // supervisorStats summarizes the recovery layer for /api/stats: breaker

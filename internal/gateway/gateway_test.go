@@ -194,7 +194,7 @@ func TestPlanEndpoint(t *testing.T) {
 }
 
 // TestPlanCachePrewarm verifies Module 3's planning-strategy caching: after
-// registrations, plans between registered models are cache hits.
+// registrations quiesce, plans between registered models are cache hits.
 func TestPlanCachePrewarm(t *testing.T) {
 	g, _, _ := newTestGateway(t)
 	img := zoo.Imgclsmob()
@@ -202,6 +202,7 @@ func TestPlanCachePrewarm(t *testing.T) {
 	b := img.MustGet("resnet34-imagenet")
 	_ = g.RegisterModel(a)
 	_ = g.RegisterModel(b)
+	g.PlanningQuiesce()
 	env := g.online.Env()
 	if _, ok := env.Plans.Get(a, b); !ok {
 		t.Error("a→b plan not precomputed on registration")

@@ -161,15 +161,7 @@ func (c *Collector) Percentile(p float64) time.Duration {
 	for i, r := range c.records {
 		lat[i] = r.Latency()
 	}
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	idx := int(math.Ceil(p/100*float64(len(lat)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(lat) {
-		idx = len(lat) - 1
-	}
-	return lat[idx]
+	return DurationPercentile(lat, p)
 }
 
 // KindCounts tallies records per start kind.
@@ -289,6 +281,26 @@ func SummarizeDurations(ds []time.Duration) DurationStats {
 	}
 	st.Mean = sum / time.Duration(len(ds))
 	return st
+}
+
+// DurationPercentile returns the p-th percentile (p in [0,100], nearest-rank)
+// of the sample; the input slice is not modified. Zero for an empty sample.
+// Collector.Percentile and the planning-time telemetry share this definition
+// so /api/stats and BENCH_*.json percentiles are directly comparable.
+func DurationPercentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // Histogram buckets duration samples on a fixed linear grid, for latency

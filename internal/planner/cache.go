@@ -1,7 +1,9 @@
 package planner
 
 import (
+	"container/list"
 	"sync"
+	"time"
 
 	"repro/internal/metaop"
 	"repro/internal/model"
@@ -13,9 +15,23 @@ import (
 // source weights hash, destination structure hash, destination weights hash)
 // — two models with identical structure but different weights transform
 // differently (Replace steps), so weights participate in the key.
+//
+// The cache is optionally bounded: NewCacheBounded evicts the least recently
+// used plan once the bound is exceeded, so a gateway serving an unbounded
+// model churn holds at most `limit` plans. Concurrent GetOrPlan calls for the
+// same (src, dst) pair are deduplicated via singleflight: exactly one caller
+// plans while the rest wait for its result, so a burst of registrations never
+// repeats planning work.
 type Cache struct {
-	mu sync.RWMutex
-	m  map[cacheKey]*metaop.Plan
+	mu sync.Mutex
+	m  map[cacheKey]*list.Element
+	// lru orders entries most-recently-used first; evictions pop the back.
+	lru *list.List
+	// limit bounds len(m); zero means unbounded.
+	limit int
+	// flights tracks in-progress GetOrPlan computations for singleflight
+	// deduplication.
+	flights map[cacheKey]*flight
 	// ids memoizes per-graph hash pairs. Graphs handed out by the zoo
 	// registries are immutable by convention (containers hold clones), so
 	// pointer-keyed memoization is safe and makes the online cache lookup
@@ -23,7 +39,23 @@ type Cache struct {
 	ids map[*model.Graph]graphID
 
 	hits, misses int
+	// planned counts plans actually computed through GetOrPlan; deduped
+	// counts callers that piggybacked on another goroutine's in-flight
+	// computation instead of planning themselves.
+	planned, deduped int
+	// evictions counts plans dropped by the LRU bound.
+	evictions int
+	// Per-pair planning-time telemetry, recorded around every Plan call
+	// GetOrPlan performs. times is capped at planTimeSamples entries;
+	// total/max/count keep exact running aggregates.
+	times         []time.Duration
+	planTimeTotal time.Duration
+	planTimeMax   time.Duration
 }
+
+// planTimeSamples caps the per-pair duration samples kept for percentile
+// telemetry; aggregates keep counting past the cap.
+const planTimeSamples = 1 << 16
 
 type graphID struct{ structure, weights uint64 }
 
@@ -31,11 +63,33 @@ type cacheKey struct {
 	src, dst graphID
 }
 
-// NewCache returns an empty plan cache.
-func NewCache() *Cache {
+// entry is an LRU list element payload.
+type entry struct {
+	key  cacheKey
+	plan *metaop.Plan
+}
+
+// flight is one in-progress plan computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	plan *metaop.Plan
+}
+
+// NewCache returns an empty, unbounded plan cache.
+func NewCache() *Cache { return NewCacheBounded(0) }
+
+// NewCacheBounded returns an empty plan cache holding at most limit plans
+// (LRU-evicted beyond it); limit <= 0 means unbounded.
+func NewCacheBounded(limit int) *Cache {
+	if limit < 0 {
+		limit = 0
+	}
 	return &Cache{
-		m:   make(map[cacheKey]*metaop.Plan),
-		ids: make(map[*model.Graph]graphID),
+		m:       make(map[cacheKey]*list.Element),
+		lru:     list.New(),
+		limit:   limit,
+		flights: make(map[cacheKey]*flight),
+		ids:     make(map[*model.Graph]graphID),
 	}
 }
 
@@ -53,46 +107,138 @@ func (c *Cache) keyFor(src, dst *model.Graph) cacheKey {
 	return cacheKey{src: c.idFor(src), dst: c.idFor(dst)}
 }
 
+// lookup must be called with c.mu held; it counts the hit/miss and
+// freshens the LRU position.
+func (c *Cache) lookup(k cacheKey) (*metaop.Plan, bool) {
+	el, ok := c.m[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*entry).plan, true
+}
+
+// insert must be called with c.mu held; it stores (or refreshes) the plan
+// and applies the LRU bound.
+func (c *Cache) insert(k cacheKey, p *metaop.Plan) {
+	if el, ok := c.m[k]; ok {
+		el.Value.(*entry).plan = p
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.lru.PushFront(&entry{key: k, plan: p})
+	for c.limit > 0 && len(c.m) > c.limit {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.lru.Remove(back)
+		delete(c.m, back.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
 // Get returns the cached plan for src→dst, if any.
 func (c *Cache) Get(src, dst *model.Graph) (*metaop.Plan, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p, ok := c.m[c.keyFor(src, dst)]
-	if ok {
-		c.hits++
-	} else {
-		c.misses++
-	}
-	return p, ok
+	return c.lookup(c.keyFor(src, dst))
 }
 
 // Put stores a plan for src→dst.
 func (c *Cache) Put(src, dst *model.Graph, p *metaop.Plan) {
 	c.mu.Lock()
-	c.m[c.keyFor(src, dst)] = p
+	c.insert(c.keyFor(src, dst), p)
 	c.mu.Unlock()
 }
 
 // GetOrPlan returns the cached plan or computes and caches one with pl.
+// Concurrent calls for the same pair compute the plan exactly once: the
+// first caller plans, the rest wait for its result (singleflight).
 func (c *Cache) GetOrPlan(pl *Planner, src, dst *model.Graph) *metaop.Plan {
-	if p, ok := c.Get(src, dst); ok {
+	c.mu.Lock()
+	k := c.keyFor(src, dst)
+	if p, ok := c.lookup(k); ok {
+		c.mu.Unlock()
 		return p
 	}
+	if f, ok := c.flights[k]; ok {
+		c.deduped++
+		c.mu.Unlock()
+		<-f.done
+		return f.plan
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[k] = f
+	c.mu.Unlock()
+
+	t0 := time.Now()
 	p := pl.Plan(src, dst)
-	c.Put(src, dst, p)
+	took := time.Since(t0)
+
+	c.mu.Lock()
+	c.insert(k, p)
+	delete(c.flights, k)
+	c.planned++
+	c.planTimeTotal += took
+	if took > c.planTimeMax {
+		c.planTimeMax = took
+	}
+	if len(c.times) < planTimeSamples {
+		c.times = append(c.times, took)
+	}
+	c.mu.Unlock()
+
+	f.plan = p
+	close(f.done)
 	return p
 }
 
 // Len returns the number of cached plans.
 func (c *Cache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return len(c.m)
 }
 
 // Stats returns cache hit and miss counts.
 func (c *Cache) Stats() (hits, misses int) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Counters is a point-in-time snapshot of the cache's bookkeeping.
+type Counters struct {
+	// Hits/Misses count lookups (Get and the read side of GetOrPlan).
+	Hits, Misses int
+	// Planned counts plans computed through GetOrPlan; Deduped counts
+	// callers that waited on another goroutine's in-flight computation
+	// (singleflight). Planned+Deduped+Hits covers every GetOrPlan call.
+	Planned, Deduped int
+	// Evictions counts plans dropped by the LRU bound; Size and Limit
+	// describe the current occupancy (Limit 0 = unbounded).
+	Evictions, Size, Limit int
+}
+
+// Counters returns the cache's counter snapshot.
+func (c *Cache) Counters() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Counters{
+		Hits: c.hits, Misses: c.misses,
+		Planned: c.planned, Deduped: c.deduped,
+		Evictions: c.evictions, Size: len(c.m), Limit: c.limit,
+	}
+}
+
+// PlanTimes summarizes the per-pair planning-time telemetry recorded by
+// GetOrPlan: the sample set (capped at planTimeSamples, oldest first), the
+// exact total and maximum, and the exact number of plans computed.
+func (c *Cache) PlanTimes() (samples []time.Duration, total, max time.Duration, count int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.times...), c.planTimeTotal, c.planTimeMax, c.planned
 }

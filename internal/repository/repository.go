@@ -28,14 +28,23 @@ type Store struct {
 	models map[string]*model.Graph
 
 	// plans, when configured with a planner, caches pairwise transformation
-	// strategies as models register (§4.4 Module 3).
+	// strategies as models register (§4.4 Module 3); pre fans the pairwise
+	// planning across a bounded worker pool instead of blocking callers.
 	pl    *planner.Planner
 	plans *planner.Cache
+	pre   *planner.Precomputer
 }
 
 // Open loads (or initializes) a repository at dir. If pl is non-nil, plans
-// between all stored models are precomputed into Plans().
+// between all stored models are precomputed into Plans() in parallel across
+// the worker pool before Open returns (the offline warm-up of §4.4).
 func Open(dir string, pl *planner.Planner) (*Store, error) {
+	return OpenWorkers(dir, pl, 0)
+}
+
+// OpenWorkers is Open with an explicit planning worker-pool bound
+// (0 = GOMAXPROCS).
+func OpenWorkers(dir string, pl *planner.Planner, workers int) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("repository: creating %s: %w", dir, err)
 	}
@@ -44,6 +53,9 @@ func Open(dir string, pl *planner.Planner) (*Store, error) {
 		models: make(map[string]*model.Graph),
 		pl:     pl,
 		plans:  planner.NewCache(),
+	}
+	if pl != nil {
+		s.pre = planner.NewPrecomputer(pl, s.plans, workers)
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -59,14 +71,12 @@ func Open(dir string, pl *planner.Planner) (*Store, error) {
 		}
 		s.models[g.Name] = g
 	}
-	if pl != nil {
-		for _, a := range s.models {
-			for _, b := range s.models {
-				if a != b {
-					s.plans.GetOrPlan(pl, a, b)
-				}
-			}
+	if s.pre != nil {
+		all := make([]*model.Graph, 0, len(s.models))
+		for _, g := range s.models {
+			all = append(all, g)
 		}
+		s.pre.PrecomputeAll(all)
 	}
 	return s, nil
 }
@@ -128,13 +138,20 @@ func (s *Store) Put(g *model.Graph) error {
 	if err := os.Rename(tmp, s.fileFor(g.Name)); err != nil {
 		return fmt.Errorf("repository: committing %s: %w", g.Name, err)
 	}
-	if s.pl != nil {
-		for _, o := range others {
-			s.plans.GetOrPlan(s.pl, o, g)
-			s.plans.GetOrPlan(s.pl, g, o)
-		}
+	if s.pre != nil {
+		// Pairwise planning is enqueued asynchronously: Put returns in O(1)
+		// and the plans fill in on the worker pool (Quiesce waits).
+		s.pre.EnqueueAll(g, others)
 	}
 	return nil
+}
+
+// Quiesce blocks until every transformation plan enqueued by Put (or Open)
+// has been computed into Plans().
+func (s *Store) Quiesce() {
+	if s.pre != nil {
+		s.pre.Quiesce()
+	}
 }
 
 // Get returns a stored model by name.

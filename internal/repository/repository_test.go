@@ -101,6 +101,7 @@ func TestPutPrecomputesPlans(t *testing.T) {
 	if err := s.Put(b); err != nil {
 		t.Fatal(err)
 	}
+	s.Quiesce() // planning is asynchronous; wait for the worker pool
 	if _, ok := s.Plans().Get(a, b); !ok {
 		t.Error("a→b plan missing after Put")
 	}

@@ -36,6 +36,10 @@ type Config struct {
 	// PlannerAlgo selects the transformation planning algorithm for
 	// policies that plan (default AlgoGroup).
 	PlannerAlgo planner.Algorithm
+	// PlanCacheMax bounds the planning-strategy cache: beyond it the least
+	// recently used plan is evicted (eviction counters surface through
+	// planner.Cache.Counters). Zero keeps the cache unbounded.
+	PlanCacheMax int
 	// EstimatorErr adds deterministic profiling noise to planner estimates.
 	EstimatorErr float64
 	// Seed drives the estimator noise.
@@ -176,7 +180,7 @@ func New(cfg Config, fns []*Function) *Simulator {
 		env: &Env{
 			Profile:           cfg.Profile,
 			Planner:           planner.New(est, cfg.PlannerAlgo),
-			Plans:             planner.NewCache(),
+			Plans:             planner.NewCacheBounded(cfg.PlanCacheMax),
 			IdleThreshold:     cfg.IdleThreshold,
 			KeepAlive:         cfg.KeepAlive,
 			MemoryMode:        cfg.memoryMode(),

@@ -121,6 +121,15 @@ func (t *Transformer) Plan(src, dst *Model) *Plan {
 	return t.cache.GetOrPlan(t.pl, src, dst)
 }
 
+// Precompute warms the transformer's plan cache with every ordered pair of
+// the given models, fanning the pairwise planning across a bounded worker
+// pool (workers <= 0 defaults to GOMAXPROCS) — the offline planning phase of
+// §4.4 Module 3 as a bulk operation. It returns once every pair is planned;
+// plans are identical to those Plan would compute serially.
+func (t *Transformer) Precompute(models []*Model, workers int) {
+	planner.NewPrecomputer(t.pl, t.cache, workers).PrecomputeAll(models)
+}
+
 // Transform executes the plan for src→dst through the meta-operator engine,
 // returning the rewritten model and its (simulated) execution time. The
 // result is verified to be identical to dst; a verification failure is a
