@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench microbench benchguard fuzz check
+.PHONY: build vet test race bench bench-scale microbench benchguard scaleguard fuzz check
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,12 @@ race:
 bench:
 	$(GO) run ./cmd/optimus-bench bench
 
+# bench-scale runs the simulator hot-path scaling benchmark (1M-request
+# trace, serial/scan vs indexed vs sharded) and leaves BENCH_sim_scale.json
+# in the repo root.
+bench-scale:
+	$(GO) run ./cmd/optimus-bench scale
+
 # microbench runs the Go testing.B microbenchmarks of the root package.
 microbench:
 	$(GO) test -bench=. -benchmem .
@@ -30,11 +36,17 @@ microbench:
 benchguard:
 	$(GO) test -run 'TestBench' -bench 'BenchmarkPrecompute' -benchtime=1x ./internal/experiments
 
+# scaleguard validates the checked-in BENCH_sim_scale.json (indexed replay
+# must not be slower than the scan baseline, both equivalence checks must
+# hold) and replays a small-N scale smoke end to end.
+scaleguard:
+	$(GO) test -run 'TestScale' ./internal/experiments
+
 # fuzz runs a short native-fuzzing smoke over the plan executor.
 fuzz:
 	$(GO) test -fuzz='^FuzzPlanApply$$' -fuzztime=10s -run '^$$' ./internal/planner
 
 # check is the pre-merge gate: static analysis, a full build, the test
 # suite under the race detector (the gateway stress test needs it), and the
-# benchmark regression guard.
-check: vet build race benchguard
+# benchmark regression guards.
+check: vet build race benchguard scaleguard

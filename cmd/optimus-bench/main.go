@@ -35,8 +35,22 @@ func main() {
 		chaosRt = flag.String("chaos-rates", "", "comma-separated fault rates for the chaos/recovery sweeps (defaults per experiment)")
 		outDir  = flag.String("out", ".", "directory for the bench experiment's BENCH_*.json artifacts")
 		planWrk = flag.Int("plan-workers", 0, "parallel planning workers for the bench experiment (0 = GOMAXPROCS)")
+		scaleN  = flag.Int("scale-requests", 0, "trace size for the scale experiment (0 = 1M, or 50k with -quick)")
+		shards  = flag.Int("replay-shards", 0, "parallel replay workers for the scale experiment (0 = one per node group)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 	args := flag.Args()
 	sweepRates, err := cliutil.ParseRates(*chaosRt)
 	if err != nil {
@@ -48,6 +62,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: fig2 fig3 fig4 fig5a fig5c fig8 fig11 fig12 fig13 fig14 fig15 fig16 table1")
 		fmt.Fprintln(os.Stderr, "ablations:   ablation-planner ablation-safeguard ablation-cache ablation-balancer ablation-idle ablation-online ablation-alloc sweep-nodes sweep-load chaos recovery")
 		fmt.Fprintln(os.Stderr, "baselines:   bench (emits BENCH_planner.json + BENCH_sim.json into -out)")
+		fmt.Fprintln(os.Stderr, "             scale (replays one trace serial/indexed/sharded; emits BENCH_sim_scale.json into -out)")
 		os.Exit(2)
 	}
 
@@ -155,6 +170,13 @@ func main() {
 		case "bench":
 			r := experiments.Bench(o, setup, *planWrk)
 			if err := r.WriteFiles(*outDir); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			out, result = r.Render(), r
+		case "scale":
+			r := experiments.Scale(o, *scaleN, 0, *shards)
+			if err := r.WriteFile(*outDir); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

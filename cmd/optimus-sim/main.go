@@ -57,6 +57,9 @@ func main() {
 		recovery   = flag.Bool("recovery", false, "run the supervised-recovery sweep (breaker/watchdog on vs off) and exit")
 		quick      = flag.Bool("quick", false, "shrink the -chaos/-recovery sweeps for fast runs")
 		perFn      = flag.Int("per-function", 0, "print per-function stats for the N slowest functions")
+		shards     = flag.Int("replay-shards", 1, "parallel replay workers when the placement partitions the cluster (0 = GOMAXPROCS, 1 = serial)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		saveTrace  = flag.String("save-trace", "", "write the generated workload to this CSV file")
 		loadTrace  = flag.String("load-trace", "", "replay a workload from this CSV file instead of generating one")
 		azureTrace = flag.String("azure-trace", "", "replay a real Azure Functions invocations CSV (per-minute counts; deploys one function per trace row)")
@@ -235,11 +238,28 @@ func main() {
 
 	fmt.Printf("policy=%s nodes=%d containers/node=%d functions=%d workload=%s horizon=%v requests=%d\n",
 		*policyName, *nodes, *slots, deployed, *wl, *horizon, trace.Len())
+	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	start := time.Now()
-	rep, err := sys.Run(trace)
+	var rep *optimus.Report
+	if *shards == 1 {
+		rep, err = sys.Run(trace)
+	} else {
+		rep, err = sys.RunSharded(trace, *shards)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simulation failed:", err)
 		os.Exit(1)
+	}
+	if *shards != 1 {
+		if sh := rep.Sharding; sh.Sharded() {
+			fmt.Printf("sharded replay: %d shards on %d workers\n", sh.Shards, sh.Workers)
+		} else {
+			fmt.Printf("serial replay (%s)\n", sh.SerialReason)
+		}
 	}
 	fmt.Println(rep.Summary())
 	if fs := rep.FaultSummary(); fs != "" {
@@ -270,4 +290,8 @@ func main() {
 		}
 	}
 	fmt.Printf("simulated %v of cluster time in %v\n", *horizon, time.Since(start).Round(time.Millisecond))
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

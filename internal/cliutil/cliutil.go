@@ -1,11 +1,15 @@
 // Package cliutil holds small shared helpers for the command-line tools:
 // probability-flag validation and rate-list parsing with consolidated error
-// reporting, so every binary rejects bad input the same way.
+// reporting, so every binary rejects bad input the same way, plus the shared
+// -cpuprofile/-memprofile plumbing.
 package cliutil
 
 import (
 	"fmt"
 	"math"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -56,4 +60,42 @@ func ParseRates(s string) ([]float64, error) {
 		return nil, fmt.Errorf("invalid rate entries: %s", strings.Join(bad, ", "))
 	}
 	return out, nil
+}
+
+// StartProfiles begins CPU profiling and/or arranges a heap profile, for the
+// -cpuprofile/-memprofile flags the binaries share. Either path may be empty.
+// The returned stop function finishes the CPU profile and writes the heap
+// profile; call it exactly once (defer it after a nil-error return).
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
 }

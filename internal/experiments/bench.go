@@ -132,10 +132,10 @@ func benchPlanner(o Options, workers int) PlannerBench {
 	}
 	res.Identical = identicalPlans(serial, parallel, models)
 
-	samples, _, _, _ := parallel.PlanTimes()
-	res.PlanP50MS = msF(metrics.DurationPercentile(samples, 50))
-	res.PlanP95MS = msF(metrics.DurationPercentile(samples, 95))
-	res.PlanP99MS = msF(metrics.DurationPercentile(samples, 99))
+	pt := parallel.PlanTimes()
+	res.PlanP50MS = msF(pt.P50)
+	res.PlanP95MS = msF(pt.P95)
+	res.PlanP99MS = msF(pt.P99)
 
 	ct := parallel.Counters()
 	res.CachePlanned = ct.Planned

@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/simulate"
+	"repro/internal/workload"
+)
+
+// BenchScaleFile is the artifact `optimus-bench scale` emits; `make check`
+// and CI validate its contents.
+const BenchScaleFile = "BENCH_sim_scale.json"
+
+// ScaleBench is the simulator hot-path scaling benchmark: one synthetic
+// million-request trace on a sharded cluster replayed three ways —
+//
+//   - serial/scan: the legacy O(nodes×containers) scanning router
+//     (Config.RouteScan), the pre-index engine baseline;
+//   - indexed: the incrementally-maintained routing index, serial replay;
+//   - sharded: the indexed engine with the trace split across the
+//     placement's disjoint node groups and replayed in parallel
+//     (simulate.RunSharded).
+//
+// Wall times and speedups are machine-dependent; request counts, the
+// equality checks and allocation counts are reproducible.
+type ScaleBench struct {
+	Seed      int64 `json:"seed"`
+	Requests  int   `json:"requests"`
+	Functions int   `json:"functions"`
+	Nodes     int   `json:"nodes"`
+	Groups    int   `json:"groups"`
+	Workers   int   `json:"workers"`
+	// Shards is the shard count RunSharded planned; ShardSerialReason is
+	// non-empty if it fell back to serial replay.
+	Shards            int    `json:"shards"`
+	ShardSerialReason string `json:"shard_serial_reason,omitempty"`
+
+	SerialMS  float64 `json:"serial_ms"`
+	IndexedMS float64 `json:"indexed_ms"`
+	ShardedMS float64 `json:"sharded_ms"`
+	// SpeedupIndexed = serial/indexed, SpeedupSharded = indexed/sharded,
+	// SpeedupTotal = serial/sharded (the ≥3× acceptance target).
+	SpeedupIndexed float64 `json:"speedup_indexed"`
+	SpeedupSharded float64 `json:"speedup_sharded"`
+	SpeedupTotal   float64 `json:"speedup_total"`
+
+	SerialAllocsPerReq  float64 `json:"serial_allocs_per_req"`
+	IndexedAllocsPerReq float64 `json:"indexed_allocs_per_req"`
+	ShardedAllocsPerReq float64 `json:"sharded_allocs_per_req"`
+
+	// IndexedMatchesScan: the indexed replay's records are byte-identical to
+	// the scanning replay's. ShardedMatchesSerial: the shard-merged
+	// aggregates (count, mean, P50/P95/P99, kind counts, faults) equal the
+	// serial replay's.
+	IndexedMatchesScan   bool `json:"indexed_matches_scan"`
+	ShardedMatchesSerial bool `json:"sharded_matches_serial"`
+}
+
+// scaleFixture is the synthetic cluster: `groups` disjoint node groups of
+// `nodesPerGroup` nodes each, with functions bound round-robin to groups.
+type scaleFixture struct {
+	cfg   simulate.Config
+	fns   []*simulate.Function
+	trace *workload.Trace
+}
+
+// scaleCluster builds the fixture: functions cycle the quick model catalog
+// (so planning stays cheap and start kinds mix), and Poisson rates are tuned
+// to land near the requested trace size.
+func scaleCluster(o Options, requests, groups int) scaleFixture {
+	// Scan cost grows with the group's live container population, index cost
+	// does not. The population here comes from keep-alive bloat — the
+	// many-functions-few-invocations shape serverless ML deployments actually
+	// have (§2): each group packs ~a hundred functions that each hold one or
+	// two warm containers, so every scanning route walks hundreds of
+	// containers while the index answers from counters.
+	const nodesPerGroup = 8
+	const containersPerNode = 32
+	const fnsPerGroup = 128
+	horizon := 30 * time.Minute
+
+	base := DefaultFunctionSet(true)
+	nfns := groups * fnsPerGroup
+	fns := make([]*simulate.Function, nfns)
+	names := make([]string, nfns)
+	placement := make(map[string][]int, nfns)
+	rates := make(map[string]float64, nfns)
+	perFnRate := float64(requests) / horizon.Seconds() / float64(nfns)
+	for i := range fns {
+		name := fmt.Sprintf("fn-%03d", i)
+		fns[i] = &simulate.Function{Name: name, Model: base[i%len(base)].Model}
+		names[i] = name
+		g := i % groups
+		nodes := make([]int, nodesPerGroup)
+		for j := range nodes {
+			nodes[j] = g*nodesPerGroup + j
+		}
+		placement[name] = nodes
+		// Skew rates across functions (heavy head, long tail) so warm reuse,
+		// repurposing and cold starts all occur.
+		rates[name] = perFnRate * (0.25 + 1.5*float64(i%8)/7)
+	}
+	return scaleFixture{
+		cfg: simulate.Config{
+			Nodes:             groups * nodesPerGroup,
+			ContainersPerNode: containersPerNode,
+			Profile:           o.Profile,
+			Policy:            policy.Optimus{},
+			Placement:         placement,
+			Seed:              o.Seed,
+		},
+		fns:   fns,
+		trace: workload.PoissonRates(rates, horizon, o.Seed),
+	}
+}
+
+// timedRun measures one replay's wall clock and per-request allocations.
+func timedRun(requests int, run func() *metrics.Collector) (*metrics.Collector, float64, float64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	col := run()
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	allocs := float64(after.Mallocs-before.Mallocs) / float64(requests)
+	return col, msF(wall), allocs
+}
+
+// sameRecords reports byte-identity of two replays' record streams.
+func sameRecords(a, b *metrics.Collector) bool {
+	ra, rb := a.Records(), b.Records()
+	if len(ra) != len(rb) || a.Faults != b.Faults {
+		return false
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// aggSnapshot captures the summary views a shard-merged collector must
+// reproduce exactly: counts, fault tallies, mean, latency percentiles and the
+// start-kind mix. Snapshotting lets the benchmark release a replay's
+// multi-hundred-MB record slice before timing the next one — keeping those
+// heaps alive inflates every subsequent run's GC cost.
+type aggSnapshot struct {
+	n      int
+	faults metrics.FaultStats
+	mean   time.Duration
+	pcts   [4]time.Duration
+	kinds  map[metrics.StartKind]int
+}
+
+var aggPcts = [4]float64{50, 95, 99, 100}
+
+func snapshotAggregates(c *metrics.Collector) aggSnapshot {
+	s := aggSnapshot{n: c.Len(), faults: c.Faults, mean: c.MeanLatency(), kinds: c.KindCounts()}
+	for i, p := range aggPcts {
+		s.pcts[i] = c.Percentile(p)
+	}
+	return s
+}
+
+// sameAggregates reports whether the collector reproduces the snapshot.
+func sameAggregates(want aggSnapshot, b *metrics.Collector) bool {
+	if want.n != b.Len() || want.faults != b.Faults || want.mean != b.MeanLatency() {
+		return false
+	}
+	for i, p := range aggPcts {
+		if want.pcts[i] != b.Percentile(p) {
+			return false
+		}
+	}
+	kb := b.KindCounts()
+	if len(want.kinds) != len(kb) {
+		return false
+	}
+	for k, v := range want.kinds {
+		if kb[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Scale runs the hot-path scaling benchmark. requests <= 0 defaults to one
+// million (50k in quick mode); groups <= 0 defaults to 8; workers <= 0
+// defaults to the shard count, so the parallel path is exercised even on a
+// single-core machine (where its wall-clock win is neutral by design).
+func Scale(o Options, requests, groups, workers int) ScaleBench {
+	o = o.withDefaults()
+	if requests <= 0 {
+		requests = 1_000_000
+		if o.Quick {
+			requests = 50_000
+		}
+	}
+	if groups <= 0 {
+		groups = 8
+	}
+	fx := scaleCluster(o, requests, groups)
+	if workers <= 0 {
+		workers = groups
+	}
+	res := ScaleBench{
+		Seed:      o.Seed,
+		Requests:  fx.trace.Len(),
+		Functions: len(fx.fns),
+		Nodes:     fx.cfg.Nodes,
+		Groups:    groups,
+		Workers:   workers,
+	}
+
+	// The three replays together allocate ~4 record slices of ~100 MB each at
+	// the million-request scale; with the default GOGC the collector heaps
+	// trigger repeated full marks that tax whichever replay runs last. Relax
+	// GC during the benchmark and drop each replay's records as soon as the
+	// correctness checks are done with them.
+	defer debug.SetGCPercent(debug.SetGCPercent(1000))
+
+	scanCfg := fx.cfg
+	scanCfg.RouteScan = true
+	serial, serialMS, serialAllocs := timedRun(res.Requests, func() *metrics.Collector {
+		col, err := simulate.New(scanCfg, fx.fns).Run(fx.trace)
+		if err != nil {
+			panic(err)
+		}
+		return col
+	})
+	indexed, indexedMS, indexedAllocs := timedRun(res.Requests, func() *metrics.Collector {
+		col, err := simulate.New(fx.cfg, fx.fns).Run(fx.trace)
+		if err != nil {
+			panic(err)
+		}
+		return col
+	})
+	res.IndexedMatchesScan = sameRecords(serial, indexed)
+	serialAgg := snapshotAggregates(serial)
+	serial, indexed = nil, nil
+
+	var report simulate.ShardReport
+	sharded, shardedMS, shardedAllocs := timedRun(res.Requests, func() *metrics.Collector {
+		col, rep, err := simulate.RunSharded(fx.cfg, fx.fns, fx.trace, workers)
+		if err != nil {
+			panic(err)
+		}
+		report = rep
+		return col
+	})
+
+	res.SerialMS, res.SerialAllocsPerReq = serialMS, serialAllocs
+	res.IndexedMS, res.IndexedAllocsPerReq = indexedMS, indexedAllocs
+	res.ShardedMS, res.ShardedAllocsPerReq = shardedMS, shardedAllocs
+	res.Shards = report.Shards
+	res.ShardSerialReason = report.SerialReason
+	if indexedMS > 0 {
+		res.SpeedupIndexed = serialMS / indexedMS
+	}
+	if shardedMS > 0 {
+		res.SpeedupSharded = indexedMS / shardedMS
+		res.SpeedupTotal = serialMS / shardedMS
+	}
+	res.ShardedMatchesSerial = sameAggregates(serialAgg, sharded)
+	return res
+}
+
+// WriteFile persists the artifact into dir, creating it if needed.
+func (r ScaleBench) WriteFile(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("scale: creating %s: %w", dir, err)
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, BenchScaleFile)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("scale: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Render prints the benchmark digest.
+func (r ScaleBench) Render() string {
+	shard := fmt.Sprintf("%d shards", r.Shards)
+	if r.ShardSerialReason != "" {
+		shard = "serial: " + r.ShardSerialReason
+	}
+	okStr := func(b bool) string {
+		if b {
+			return "ok"
+		}
+		return "MISMATCH"
+	}
+	return fmt.Sprintf(`Simulator scale benchmark (seed %d)
+%d requests, %d functions, %d nodes in %d groups (%s, %d workers)
+  serial/scan  %8.1f ms   %6.1f allocs/req
+  indexed      %8.1f ms   %6.1f allocs/req   (%.2fx vs scan, records %s)
+  sharded      %8.1f ms   %6.1f allocs/req   (%.2fx vs indexed, aggregates %s)
+  total speedup %.2fx`,
+		r.Seed, r.Requests, r.Functions, r.Nodes, r.Groups, shard, r.Workers,
+		r.SerialMS, r.SerialAllocsPerReq,
+		r.IndexedMS, r.IndexedAllocsPerReq, r.SpeedupIndexed, okStr(r.IndexedMatchesScan),
+		r.ShardedMS, r.ShardedAllocsPerReq, r.SpeedupSharded, okStr(r.ShardedMatchesSerial),
+		r.SpeedupTotal)
+}

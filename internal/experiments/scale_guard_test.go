@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestScaleSmoke runs the scale benchmark at a tiny request count and checks
+// the invariants that must hold at any scale: both equality proofs pass, the
+// replay is sharded (the placement is built to partition), and the indexed
+// engine allocates less per request than the scanning baseline.
+func TestScaleSmoke(t *testing.T) {
+	res := Scale(Options{Quick: true, Seed: 5}, 4000, 4, 2)
+	if res.Requests == 0 {
+		t.Fatal("empty trace")
+	}
+	if !res.IndexedMatchesScan {
+		t.Error("indexed replay diverged from the scanning baseline")
+	}
+	if !res.ShardedMatchesSerial {
+		t.Error("shard-merged aggregates diverged from serial")
+	}
+	if res.ShardSerialReason != "" {
+		t.Errorf("expected sharded replay, fell back serially: %s", res.ShardSerialReason)
+	}
+	if res.Shards != 4 {
+		t.Errorf("expected 4 shards, got %d", res.Shards)
+	}
+	if res.IndexedAllocsPerReq >= res.SerialAllocsPerReq {
+		t.Errorf("indexed allocs/req %.1f not below scan baseline %.1f",
+			res.IndexedAllocsPerReq, res.SerialAllocsPerReq)
+	}
+}
+
+// TestScaleArtifactGuard validates the checked-in BENCH_sim_scale.json: the
+// required keys are present, both equality proofs passed when it was
+// generated, and the indexed engine was not slower than the scan baseline.
+// (The ≥3× total-speedup acceptance bar is asserted at generation time; a
+// CI runner's wall clock is too noisy to re-enforce it here.)
+func TestScaleArtifactGuard(t *testing.T) {
+	path := filepath.Join("..", "..", BenchScaleFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing artifact %s (run `make bench-scale`): %v", BenchScaleFile, err)
+	}
+	var keys map[string]any
+	if err := json.Unmarshal(data, &keys); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	for _, k := range []string{
+		"requests", "serial_ms", "indexed_ms", "sharded_ms",
+		"speedup_indexed", "speedup_sharded", "speedup_total",
+		"serial_allocs_per_req", "indexed_allocs_per_req", "sharded_allocs_per_req",
+		"indexed_matches_scan", "sharded_matches_serial", "shards",
+	} {
+		if _, ok := keys[k]; !ok {
+			t.Errorf("artifact missing key %q", k)
+		}
+	}
+	var res ScaleBench
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.IndexedMatchesScan {
+		t.Error("artifact records an indexed/scan divergence")
+	}
+	if !res.ShardedMatchesSerial {
+		t.Error("artifact records a sharded/serial aggregate divergence")
+	}
+	if res.SpeedupIndexed < 1.0 {
+		t.Errorf("indexed replay slower than the scan baseline: %.2fx", res.SpeedupIndexed)
+	}
+	if res.Requests < 500_000 {
+		t.Errorf("artifact generated from only %d requests; want >= 500000", res.Requests)
+	}
+	if res.ShardSerialReason != "" {
+		t.Errorf("artifact benchmark fell back to serial: %s", res.ShardSerialReason)
+	}
+}

@@ -516,7 +516,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) planningStats() map[string]any {
 	st := g.pre.Stats()
 	ct := g.online.Env().Plans.Counters()
-	samples, total, max, _ := g.online.Env().Plans.PlanTimes()
+	pt := g.online.Env().Plans.PlanTimes()
 	hitRatio := 0.0
 	if ct.Hits+ct.Misses > 0 {
 		hitRatio = float64(ct.Hits) / float64(ct.Hits+ct.Misses)
@@ -540,11 +540,11 @@ func (g *Gateway) planningStats() map[string]any {
 		},
 		"plan_time": map[string]any{
 			"count":    ct.Planned,
-			"total_ms": msF(total),
-			"max_ms":   msF(max),
-			"p50_ms":   msF(metrics.DurationPercentile(samples, 50)),
-			"p95_ms":   msF(metrics.DurationPercentile(samples, 95)),
-			"p99_ms":   msF(metrics.DurationPercentile(samples, 99)),
+			"total_ms": msF(pt.Total),
+			"max_ms":   msF(pt.Max),
+			"p50_ms":   msF(pt.P50),
+			"p95_ms":   msF(pt.P95),
+			"p99_ms":   msF(pt.P99),
 		},
 	}
 }

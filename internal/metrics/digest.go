@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// DurationDigest is a streaming log-linear histogram over duration samples:
+// Observe is O(1) and allocation-free, and quantiles resolve to a bucket
+// whose relative width is at most 2^-digestSubBits (~3.1%). It replaces
+// unbounded sample slices for high-volume telemetry (per-pair planning
+// times) where exact nearest-rank percentiles are not worth O(n log n)
+// sorts and O(n) retained memory.
+//
+// Buckets follow the HDR-histogram layout: values below 2^(digestSubBits+1)
+// map to themselves (exact), larger values keep digestSubBits significant
+// bits. Count, Total and Max are exact; Percentile(100) therefore returns
+// the exact observed maximum. The zero value is ready to use. Not safe for
+// concurrent use.
+type DurationDigest struct {
+	counts [digestBuckets]uint32
+	count  int
+	total  time.Duration
+	max    time.Duration
+}
+
+// digestSubBits sets the sub-bucket precision: 2^5 = 32 linear sub-buckets
+// per power of two, bounding quantile error at 1/32 of the value.
+const digestSubBits = 5
+
+// digestBuckets covers the full non-negative int64 range: 64 exact small
+// values plus 32 sub-buckets for each of the 58 remaining octaves.
+const digestBuckets = (64 - digestSubBits - 1 + 2) << digestSubBits
+
+// digestBucket maps a non-negative value to its bucket index
+// (monotone non-decreasing in v).
+func digestBucket(v uint64) int {
+	exp := bits.Len64(v)
+	if exp <= digestSubBits+1 {
+		return int(v)
+	}
+	shift := uint(exp - digestSubBits - 1)
+	return int((uint64(shift) << digestSubBits) + (v >> shift))
+}
+
+// digestUpper returns the largest value mapping to bucket i.
+func digestUpper(i int) time.Duration {
+	if i < 1<<(digestSubBits+1) {
+		return time.Duration(i)
+	}
+	shift := uint(i>>digestSubBits) - 1
+	m := uint64(i) - (uint64(shift) << digestSubBits)
+	return time.Duration(((m + 1) << shift) - 1)
+}
+
+// Observe adds one sample; negative durations clamp to zero.
+func (d *DurationDigest) Observe(v time.Duration) {
+	if v < 0 {
+		v = 0
+	}
+	d.counts[digestBucket(uint64(v))]++
+	d.count++
+	d.total += v
+	if v > d.max {
+		d.max = v
+	}
+}
+
+// Count returns the number of observed samples.
+func (d *DurationDigest) Count() int { return d.count }
+
+// Total returns the exact sum of observed samples.
+func (d *DurationDigest) Total() time.Duration { return d.total }
+
+// Max returns the exact maximum observed sample (0 if empty).
+func (d *DurationDigest) Max() time.Duration { return d.max }
+
+// Mean returns the exact mean of observed samples (0 if empty).
+func (d *DurationDigest) Mean() time.Duration {
+	if d.count == 0 {
+		return 0
+	}
+	return d.total / time.Duration(d.count)
+}
+
+// Percentile returns an upper bound for the p-th percentile (p in [0,100],
+// nearest-rank like DurationPercentile), clamped to the exact observed
+// maximum. Zero for an empty digest.
+func (d *DurationDigest) Percentile(p float64) time.Duration {
+	if d.count == 0 {
+		return 0
+	}
+	target := int(math.Ceil(p / 100 * float64(d.count)))
+	if target < 1 {
+		target = 1
+	}
+	if target > d.count {
+		target = d.count
+	}
+	seen := 0
+	for i, c := range d.counts {
+		seen += int(c)
+		if seen >= target {
+			ub := digestUpper(i)
+			if ub > d.max {
+				ub = d.max
+			}
+			return ub
+		}
+	}
+	return d.max
+}
+
+// Merge adds all of o's samples into d. The merged Count/Total/Max are exact;
+// bucket counts add cell-wise.
+func (d *DurationDigest) Merge(o *DurationDigest) {
+	for i, c := range o.counts {
+		d.counts[i] += c
+	}
+	d.count += o.count
+	d.total += o.total
+	if o.max > d.max {
+		d.max = o.max
+	}
+}

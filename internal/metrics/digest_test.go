@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDigestSmallValuesExact(t *testing.T) {
+	var d DurationDigest
+	for v := time.Duration(0); v < 64; v++ {
+		d.Observe(v)
+	}
+	if d.Count() != 64 {
+		t.Fatalf("count = %d, want 64", d.Count())
+	}
+	// Small values map to exact buckets, so nearest-rank percentiles are
+	// exact: p50 of 0..63 is index ceil(0.5*64)-1 = 31.
+	if got := d.Percentile(50); got != 31 {
+		t.Errorf("p50 = %d, want 31", got)
+	}
+	if got := d.Percentile(100); got != 63 {
+		t.Errorf("p100 = %d, want 63", got)
+	}
+	if got := d.Percentile(0); got != 0 {
+		t.Errorf("p0 = %d, want 0", got)
+	}
+}
+
+func TestDigestRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var d DurationDigest
+	samples := make([]time.Duration, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		// Span several octaves, microseconds to minutes.
+		v := time.Duration(rng.Int63n(int64(90 * time.Second)))
+		d.Observe(v)
+		samples = append(samples, v)
+	}
+	for _, p := range []float64{25, 50, 90, 95, 99, 100} {
+		exact := DurationPercentile(samples, p)
+		got := d.Percentile(p)
+		if got < exact {
+			t.Errorf("p%v: digest %v below exact %v", p, got, exact)
+		}
+		if exact > 0 && float64(got-exact)/float64(exact) > 1.0/32 {
+			t.Errorf("p%v: digest %v exceeds exact %v by more than 1/32", p, got, exact)
+		}
+	}
+	if d.Max() != DurationPercentile(samples, 100) {
+		t.Errorf("max = %v, want exact %v", d.Max(), DurationPercentile(samples, 100))
+	}
+}
+
+func TestDigestAggregates(t *testing.T) {
+	var d DurationDigest
+	d.Observe(10 * time.Millisecond)
+	d.Observe(30 * time.Millisecond)
+	d.Observe(-time.Second) // clamps to 0
+	if d.Count() != 3 {
+		t.Fatalf("count = %d, want 3", d.Count())
+	}
+	if d.Total() != 40*time.Millisecond {
+		t.Errorf("total = %v, want 40ms", d.Total())
+	}
+	if d.Mean() != 40*time.Millisecond/3 {
+		t.Errorf("mean = %v", d.Mean())
+	}
+	if d.Max() != 30*time.Millisecond {
+		t.Errorf("max = %v, want 30ms", d.Max())
+	}
+}
+
+func TestDigestMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var a, b, whole DurationDigest
+	for i := 0; i < 1000; i++ {
+		v := time.Duration(rng.Int63n(int64(time.Minute)))
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Total() != whole.Total() || a.Max() != whole.Max() {
+		t.Fatalf("merged aggregates differ: %v/%v/%v vs %v/%v/%v",
+			a.Count(), a.Total(), a.Max(), whole.Count(), whole.Total(), whole.Max())
+	}
+	for _, p := range []float64{50, 95, 99} {
+		if a.Percentile(p) != whole.Percentile(p) {
+			t.Errorf("p%v: merged %v != whole %v", p, a.Percentile(p), whole.Percentile(p))
+		}
+	}
+}
+
+func TestDigestEmpty(t *testing.T) {
+	var d DurationDigest
+	if d.Percentile(50) != 0 || d.Max() != 0 || d.Mean() != 0 || d.Count() != 0 {
+		t.Error("empty digest should report zeros")
+	}
+}
+
+func BenchmarkDigestObserve(b *testing.B) {
+	var d DurationDigest
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Observe(time.Duration(i) * time.Microsecond)
+	}
+}

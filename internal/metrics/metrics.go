@@ -116,15 +116,47 @@ func (f FaultStats) Any() bool {
 		f.Hangs > 0 || f.WatchdogCancels > 0 || f.BreakerShortCircuits > 0
 }
 
-// Collector accumulates request records.
+// Collector accumulates request records. It maintains running aggregates
+// (latency sum, per-kind counts) and a cached sorted-latency view so that
+// summary reads over million-record replays cost O(1) — or one sort, reused
+// until the next Add — instead of re-scanning and re-sorting per call.
+// Collector is not safe for concurrent use; callers that share one across
+// goroutines (the gateway) must serialize access themselves.
 type Collector struct {
 	records []Record
 	// Faults tallies injected failures observed during the run.
 	Faults FaultStats
+
+	// latSum and kinds are running aggregates maintained by Add/RestoreFrom.
+	latSum time.Duration
+	kinds  [startKindCount]int
+	// sorted caches the ascending latency view used by Percentile; it is
+	// valid only while sortedOK holds (invalidated by Add and RestoreFrom).
+	sorted   []time.Duration
+	sortedOK bool
 }
 
 // Add appends a record.
-func (c *Collector) Add(r Record) { c.records = append(c.records, r) }
+func (c *Collector) Add(r Record) {
+	c.records = append(c.records, r)
+	c.latSum += r.Latency()
+	if int(r.Kind) < int(startKindCount) {
+		c.kinds[r.Kind]++
+	}
+	c.sortedOK = false
+}
+
+// Reserve grows the record store to hold n total records without further
+// reallocation; replay engines call it with the trace length so million-
+// request runs don't pay append-doubling copies.
+func (c *Collector) Reserve(n int) {
+	if n <= cap(c.records) {
+		return
+	}
+	grown := make([]Record, len(c.records), n)
+	copy(grown, c.records)
+	c.records = grown
+}
 
 // Len returns the number of records.
 func (c *Collector) Len() int { return len(c.records) }
@@ -133,11 +165,22 @@ func (c *Collector) Len() int { return len(c.records) }
 func (c *Collector) Records() []Record { return c.records }
 
 // RestoreFrom replaces the collector's contents with a checkpointed snapshot:
-// the records are copied (the caller's slice is not retained) and the fault
-// tallies overwritten. Used when restoring server state from disk.
+// the records are copied (the caller's slice is not retained), the fault
+// tallies overwritten, and every cached aggregate rebuilt from the restored
+// records.
 func (c *Collector) RestoreFrom(records []Record, faults FaultStats) {
 	c.records = append([]Record(nil), records...)
 	c.Faults = faults
+	c.latSum = 0
+	c.kinds = [startKindCount]int{}
+	for _, r := range c.records {
+		c.latSum += r.Latency()
+		if int(r.Kind) < int(startKindCount) {
+			c.kinds[r.Kind]++
+		}
+	}
+	c.sorted = nil
+	c.sortedOK = false
 }
 
 // MeanLatency returns the average end-to-end service time.
@@ -145,30 +188,57 @@ func (c *Collector) MeanLatency() time.Duration {
 	if len(c.records) == 0 {
 		return 0
 	}
-	var sum time.Duration
-	for _, r := range c.records {
-		sum += r.Latency()
-	}
-	return sum / time.Duration(len(c.records))
+	return c.latSum / time.Duration(len(c.records))
 }
 
-// Percentile returns the p-th latency percentile (p in [0,100]).
+// sortedLatencies returns the cached ascending latency view, rebuilding it
+// only when records changed since the last call.
+func (c *Collector) sortedLatencies() []time.Duration {
+	if c.sortedOK && len(c.sorted) == len(c.records) {
+		return c.sorted
+	}
+	if cap(c.sorted) < len(c.records) {
+		c.sorted = make([]time.Duration, len(c.records))
+	}
+	c.sorted = c.sorted[:len(c.records)]
+	for i, r := range c.records {
+		c.sorted[i] = r.Latency()
+	}
+	sort.Slice(c.sorted, func(i, j int) bool { return c.sorted[i] < c.sorted[j] })
+	c.sortedOK = true
+	return c.sorted
+}
+
+// Percentile returns the p-th latency percentile (p in [0,100]). Repeated
+// calls between Adds reuse one cached sort of the record set.
 func (c *Collector) Percentile(p float64) time.Duration {
 	if len(c.records) == 0 {
 		return 0
 	}
-	lat := make([]time.Duration, len(c.records))
-	for i, r := range c.records {
-		lat[i] = r.Latency()
+	return percentileSorted(c.sortedLatencies(), p)
+}
+
+// Percentiles returns the latency percentiles for each p in ps, sharing a
+// single sorted view across all of them.
+func (c *Collector) Percentiles(ps ...float64) []time.Duration {
+	out := make([]time.Duration, len(ps))
+	if len(c.records) == 0 {
+		return out
 	}
-	return DurationPercentile(lat, p)
+	sorted := c.sortedLatencies()
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
 }
 
 // KindCounts tallies records per start kind.
 func (c *Collector) KindCounts() map[StartKind]int {
 	out := make(map[StartKind]int, int(startKindCount))
-	for _, r := range c.records {
-		out[r.Kind]++
+	for k, n := range c.kinds {
+		if n > 0 {
+			out[StartKind(k)] = n
+		}
 	}
 	return out
 }
@@ -293,6 +363,13 @@ func DurationPercentile(ds []time.Duration, p float64) time.Duration {
 	}
 	sorted := append([]time.Duration(nil), ds...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is the nearest-rank percentile over an already
+// ascending-sorted, non-empty sample. Callers holding a reusable sorted view
+// (Collector's cache) use this to avoid DurationPercentile's copy+sort.
+func percentileSorted(sorted []time.Duration, p float64) time.Duration {
 	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
 	if idx < 0 {
 		idx = 0

@@ -212,3 +212,69 @@ func TestLatencyHistogram(t *testing.T) {
 		t.Errorf("histogram = %+v", h)
 	}
 }
+
+func TestPercentileCacheInvalidation(t *testing.T) {
+	var c Collector
+	c.Add(rec("f", StartWarm, 0, 10*time.Millisecond))
+	if got := c.Percentile(100); got != 10*time.Millisecond {
+		t.Fatalf("P100 = %v, want 10ms", got)
+	}
+	// A later Add must invalidate the cached sorted view.
+	c.Add(rec("f", StartWarm, 0, 40*time.Millisecond))
+	if got := c.Percentile(100); got != 40*time.Millisecond {
+		t.Errorf("P100 after Add = %v, want 40ms (stale sort cache?)", got)
+	}
+	if got := c.Percentile(50); got != 10*time.Millisecond {
+		t.Errorf("P50 after Add = %v, want 10ms", got)
+	}
+}
+
+func TestPercentileAfterRestoreFrom(t *testing.T) {
+	var c Collector
+	for i := 1; i <= 10; i++ {
+		c.Add(rec("f", StartWarm, 0, time.Duration(i)*time.Second))
+	}
+	// Warm the sorted-view cache, then replace contents wholesale.
+	_ = c.Percentile(50)
+
+	restored := []Record{
+		rec("g", StartCold, 0, 100*time.Millisecond),
+		rec("g", StartTransform, 0, 300*time.Millisecond),
+		rec("g", StartCold, 0, 200*time.Millisecond),
+	}
+	c.RestoreFrom(restored, FaultStats{Crashes: 2})
+
+	if got := c.Percentile(100); got != 300*time.Millisecond {
+		t.Errorf("P100 after restore = %v, want 300ms", got)
+	}
+	if got := c.Percentile(50); got != 200*time.Millisecond {
+		t.Errorf("P50 after restore = %v, want 200ms", got)
+	}
+	if got := c.MeanLatency(); got != 200*time.Millisecond {
+		t.Errorf("mean after restore = %v, want 200ms", got)
+	}
+	counts := c.KindCounts()
+	if counts[StartCold] != 2 || counts[StartTransform] != 1 || len(counts) != 2 {
+		t.Errorf("counts after restore = %v", counts)
+	}
+	if c.Faults.Crashes != 2 {
+		t.Errorf("faults after restore = %+v", c.Faults)
+	}
+}
+
+func TestPercentilesSharedSort(t *testing.T) {
+	var c Collector
+	if got := c.Percentiles(50, 99); got[0] != 0 || got[1] != 0 {
+		t.Error("empty Percentiles should be zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		c.Add(rec("f", StartWarm, 0, time.Duration(i)*time.Millisecond))
+	}
+	got := c.Percentiles(50, 95, 99)
+	want := []time.Duration{50 * time.Millisecond, 95 * time.Millisecond, 99 * time.Millisecond}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Percentiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

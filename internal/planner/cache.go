@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/metaop"
+	"repro/internal/metrics"
 	"repro/internal/model"
 )
 
@@ -45,17 +46,11 @@ type Cache struct {
 	planned, deduped int
 	// evictions counts plans dropped by the LRU bound.
 	evictions int
-	// Per-pair planning-time telemetry, recorded around every Plan call
-	// GetOrPlan performs. times is capped at planTimeSamples entries;
-	// total/max/count keep exact running aggregates.
-	times         []time.Duration
-	planTimeTotal time.Duration
-	planTimeMax   time.Duration
+	// planTimes is the per-pair planning-time telemetry recorded around every
+	// Plan call GetOrPlan performs: a streaming log-linear digest (O(1) per
+	// observation, no retained samples) with exact count/total/max.
+	planTimes metrics.DurationDigest
 }
-
-// planTimeSamples caps the per-pair duration samples kept for percentile
-// telemetry; aggregates keep counting past the cap.
-const planTimeSamples = 1 << 16
 
 type graphID struct{ structure, weights uint64 }
 
@@ -182,13 +177,7 @@ func (c *Cache) GetOrPlan(pl *Planner, src, dst *model.Graph) *metaop.Plan {
 	c.insert(k, p)
 	delete(c.flights, k)
 	c.planned++
-	c.planTimeTotal += took
-	if took > c.planTimeMax {
-		c.planTimeMax = took
-	}
-	if len(c.times) < planTimeSamples {
-		c.times = append(c.times, took)
-	}
+	c.planTimes.Observe(took)
 	c.mu.Unlock()
 
 	f.plan = p
@@ -234,11 +223,29 @@ func (c *Cache) Counters() Counters {
 	}
 }
 
+// PlanTimeStats is a snapshot of the per-pair planning-time telemetry.
+type PlanTimeStats struct {
+	// Count is the exact number of plans computed through GetOrPlan; Total
+	// and Max are the exact sum and maximum of their planning durations.
+	Count      int
+	Total, Max time.Duration
+	// P50/P95/P99 are streaming-digest percentiles (nearest-rank semantics,
+	// ≤3.1% relative bucket error, P100-equivalent clamped to the exact max).
+	P50, P95, P99 time.Duration
+}
+
 // PlanTimes summarizes the per-pair planning-time telemetry recorded by
-// GetOrPlan: the sample set (capped at planTimeSamples, oldest first), the
-// exact total and maximum, and the exact number of plans computed.
-func (c *Cache) PlanTimes() (samples []time.Duration, total, max time.Duration, count int) {
+// GetOrPlan. Percentiles come from a streaming log-linear digest, so this is
+// O(1) in the number of plans: no samples are retained or sorted.
+func (c *Cache) PlanTimes() PlanTimeStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]time.Duration(nil), c.times...), c.planTimeTotal, c.planTimeMax, c.planned
+	return PlanTimeStats{
+		Count: c.planned,
+		Total: c.planTimes.Total(),
+		Max:   c.planTimes.Max(),
+		P50:   c.planTimes.Percentile(50),
+		P95:   c.planTimes.Percentile(95),
+		P99:   c.planTimes.Percentile(99),
+	}
 }

@@ -166,7 +166,7 @@ func (p *Precomputer) Stats() PrecomputeStats {
 		PeakQueue: p.peakQueue,
 	}
 	p.mu.Unlock()
-	_, total, max, count := p.cache.PlanTimes()
-	st.PlanTimeTotal, st.PlanTimeMax, st.Planned = total, max, count
+	pt := p.cache.PlanTimes()
+	st.PlanTimeTotal, st.PlanTimeMax, st.Planned = pt.Total, pt.Max, pt.Count
 	return st
 }

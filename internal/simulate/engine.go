@@ -1,7 +1,6 @@
 package simulate
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"time"
@@ -91,6 +90,14 @@ type Config struct {
 	// Breaker configures the per-(src→dst)-pair transform circuit breaker;
 	// the zero value (Threshold 0) disables it.
 	Breaker supervisor.BreakerConfig
+	// RouteScan forces the legacy O(nodes×containers) scanning router for
+	// trace replay instead of the incrementally-maintained routing index —
+	// the "current engine" baseline for the scale benchmark.
+	RouteScan bool
+	// CrossCheckRouting runs the indexed and scanning routers side by side on
+	// every dispatch and panics on the first divergence. Debug/test only:
+	// it pays both routers' cost.
+	CrossCheckRouting bool
 }
 
 // memoryMode derives the allocation mode from the config.
@@ -145,18 +152,25 @@ type Simulator struct {
 	env   *Env
 	nodes []*Node
 	fns   map[string]*Function
+	// fnRt caches per-function routing state (candidate nodes, home hash,
+	// inter-arrival EWMA) so the hot path does no map lookups or slice
+	// building per request.
+	fnRt map[string]*fnRuntime
+	// ords assigns each *Function a dense ordinal, the key for the routing
+	// index's per-function counter slices. Shared with every nodeIndex.
+	ords map[*Function]int32
 
 	clock  time.Duration
 	events eventHeap
 	seq    int
+	// idxOn reports that the per-node routing index is enabled (trace
+	// replay without RouteScan); Online mode keeps it off.
+	idxOn bool
 
 	collector metrics.Collector
 	// TransformsVerified counts plans executed through the meta-operator
 	// engine when VerifyTransforms is on.
 	TransformsVerified int
-
-	lastArrival map[string]time.Duration
-	meanGap     map[string]time.Duration
 
 	est *cost.Estimator
 	inj *faults.Injector
@@ -165,6 +179,30 @@ type Simulator struct {
 
 	watchdog *supervisor.Watchdog
 	breaker  *supervisor.Breaker
+}
+
+// fnRuntime is the per-function hot-path state: the resolved candidate node
+// list and routing hash (static per simulation), and the inter-arrival EWMA
+// the repurposing eligibility test consults. Keyed by function name so a
+// redeploy under the same name keeps its demand statistics, matching the
+// previous map-based bookkeeping.
+type fnRuntime struct {
+	fn    *Function
+	cands []*Node
+	hash  uint32
+	// ord is the function's simulator-scoped ordinal: the dense key the
+	// routing index uses for its per-function counters.
+	ord int32
+
+	// compute caches Profile.Compute(fn.Model) — a full graph walk, pure in
+	// the model — so the hot path charges it without re-deriving per request.
+	compute    time.Duration
+	hasCompute bool
+
+	lastArrival time.Duration
+	hasLast     bool
+	meanGap     time.Duration
+	hasGap      bool
 }
 
 // New builds a simulator over the given functions.
@@ -194,30 +232,130 @@ func New(cfg Config, fns []*Function) *Simulator {
 	for _, f := range fns {
 		s.fns[f.Name] = f
 	}
-	s.lastArrival = make(map[string]time.Duration)
-	s.meanGap = make(map[string]time.Duration)
+	s.fnRt = make(map[string]*fnRuntime, len(fns))
+	s.ords = make(map[*Function]int32, len(fns))
 	s.inj = faults.New(cfg.Seed^0x5f3759df, cfg.Faults)
 	s.watchdog = supervisor.NewWatchdog(supervisor.WatchdogConfig{Factor: cfg.WatchdogFactor})
 	s.breaker = supervisor.NewBreaker(cfg.Breaker)
 	s.env.MeanInterArrival = func(fn string) (time.Duration, bool) {
-		g, ok := s.meanGap[fn]
-		return g, ok
+		if r, ok := s.fnRt[fn]; ok && r.hasGap {
+			return r.meanGap, true
+		}
+		return 0, false
 	}
 	return s
 }
 
-// observeArrival updates the per-function inter-arrival EWMA used by the
-// repurposing eligibility test.
-func (s *Simulator) observeArrival(fn *Function, at time.Duration) {
-	if last, ok := s.lastArrival[fn.Name]; ok {
-		gap := at - last
-		if prev, ok := s.meanGap[fn.Name]; ok {
-			s.meanGap[fn.Name] = (prev*4 + gap) / 5
-		} else {
-			s.meanGap[fn.Name] = gap
+// rt returns fn's cached runtime state, building it on first use. The
+// function pointer is refreshed each call so an Online redeploy under the
+// same name takes effect while keeping the accumulated demand statistics.
+func (s *Simulator) rt(fn *Function) *fnRuntime {
+	r, ok := s.fnRt[fn.Name]
+	if !ok {
+		r = &fnRuntime{hash: hash32(fn.Name), cands: s.resolveCandidates(fn.Name)}
+		s.fnRt[fn.Name] = r
+	}
+	if r.fn != fn {
+		r.fn = fn
+		r.hasCompute = false // redeploy: the model may have changed
+		r.ord = s.ordFor(fn)
+	}
+	return r
+}
+
+// ordFor returns fn's dense counter ordinal, assigning on first contact. The
+// table is shared with every node's routing index.
+func (s *Simulator) ordFor(fn *Function) int32 {
+	ord, ok := s.ords[fn]
+	if !ok {
+		ord = int32(len(s.ords))
+		s.ords[fn] = ord
+	}
+	return ord
+}
+
+// computeFor returns fn's per-request compute time, cached on its runtime.
+func (s *Simulator) computeFor(fr *fnRuntime) time.Duration {
+	if !fr.hasCompute {
+		fr.compute = s.env.Profile.Compute(fr.fn.Model)
+		fr.hasCompute = true
+	}
+	return fr.compute
+}
+
+// resolveCandidates maps a function's placement entry to node pointers,
+// mirroring candidates(): invalid IDs are dropped, and an absent or empty
+// entry binds the function to every node.
+func (s *Simulator) resolveCandidates(name string) []*Node {
+	if ids, ok := s.cfg.Placement[name]; ok && len(ids) > 0 {
+		out := make([]*Node, 0, len(ids))
+		for _, id := range ids {
+			if id >= 0 && id < len(s.nodes) {
+				out = append(out, s.nodes[id])
+			}
+		}
+		if len(out) > 0 {
+			return out
 		}
 	}
-	s.lastArrival[fn.Name] = at
+	return s.nodes
+}
+
+// observeArrival updates the per-function inter-arrival EWMA used by the
+// repurposing eligibility test.
+func (s *Simulator) observeArrival(fr *fnRuntime, at time.Duration) {
+	if fr.hasLast {
+		gap := at - fr.lastArrival
+		if fr.hasGap {
+			fr.meanGap = (fr.meanGap*4 + gap) / 5
+		} else {
+			fr.meanGap, fr.hasGap = gap, true
+		}
+	}
+	fr.lastArrival, fr.hasLast = at, true
+}
+
+// enableIndex builds the per-node routing index from current cluster state
+// (empty at the start of a replay).
+func (s *Simulator) enableIndex() {
+	if s.idxOn {
+		return
+	}
+	s.idxOn = true
+	for _, n := range s.nodes {
+		ix := newNodeIndex(s.env.IdleThreshold, s.ords)
+		n.idx = ix
+		var young []idxTimer
+		for _, c := range n.Containers {
+			c.idxOrd = ix.ordOf(c.Fn)
+			switch {
+			case c.Busy(s.clock):
+				c.idxState = idxBusy
+				ix.busy++
+				ix.busyMB += c.MemMB
+				ix.timers.push(idxTimer{at: c.BusyUntil, c: c})
+				// If the busy period ends young with this LastDone still in
+				// place (no completion event re-keys it, e.g. an Online-served
+				// container), maturation needs a timer keyed to it.
+				young = append(young, idxTimer{at: c.LastDone + ix.minIdle, c: c})
+			case s.clock-c.LastDone >= ix.minIdle:
+				c.idxState = idxMature
+				ix.warm[c.idxOrd]++
+				ix.mature[c.idxOrd]++
+				ix.matureTotal++
+			default:
+				c.idxState = idxYoung
+				ix.warm[c.idxOrd]++
+				young = append(young, idxTimer{at: c.LastDone + ix.minIdle, c: c})
+			}
+		}
+		// The maturation ring requires monotone fire times; pre-existing idle
+		// containers carry arbitrary LastDone values, so sort before seeding.
+		sort.Slice(young, func(i, j int) bool { return young[i].at < young[j].at })
+		for _, t := range young {
+			ix.matureQ.push(t)
+		}
+	}
 }
 
 // Env exposes the simulator's policy environment (plan cache, planner).
@@ -228,71 +366,169 @@ func (s *Simulator) Collector() *metrics.Collector { return &s.collector }
 
 // Run replays the trace to completion and returns the collected metrics.
 // Unknown function names in the trace are an error.
+//
+// Arrivals are not pushed onto the event heap: the trace is resolved and
+// time-sorted upfront, then stream-merged with engine events, keeping the
+// heap sized by in-flight work instead of trace length. Ordering matches the
+// previous all-in-one heap exactly: at equal timestamps arrivals fire before
+// engine events (arrivals held the lower sequence numbers), arrivals keep
+// trace order (stable sort), and engine events keep scheduling order.
 func (s *Simulator) Run(trace *workload.Trace) (*metrics.Collector, error) {
-	for _, r := range trace.Requests {
+	type arrival struct {
+		at time.Duration
+		fr *fnRuntime
+	}
+	arrivals := make([]arrival, len(trace.Requests))
+	inOrder := true
+	for i, r := range trace.Requests {
 		fn, ok := s.fns[r.Function]
 		if !ok {
 			return nil, fmt.Errorf("simulate: trace references unknown function %q", r.Function)
 		}
-		req := r
-		s.schedule(req.At, func() { s.arrive(fn, req.At) })
+		arrivals[i] = arrival{at: r.At, fr: s.rt(fn)}
+		if i > 0 && r.At < arrivals[i-1].at {
+			inOrder = false
+		}
 	}
-	for s.events.Len() > 0 {
-		ev := heap.Pop(&s.events).(event)
+	if !inOrder {
+		sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].at < arrivals[j].at })
+	}
+	if !s.cfg.RouteScan || s.cfg.CrossCheckRouting {
+		s.enableIndex()
+	}
+	s.collector.Reserve(s.collector.Len() + len(arrivals))
+	next := 0
+	for next < len(arrivals) || len(s.events) > 0 {
+		if next < len(arrivals) && (len(s.events) == 0 || arrivals[next].at <= s.events[0].at) {
+			a := arrivals[next]
+			next++
+			s.clock = a.at
+			s.arrive(a.fr, a.at)
+			continue
+		}
+		ev := s.events.pop()
 		s.clock = ev.at
-		ev.fn()
+		switch ev.kind {
+		case evDispatch:
+			s.dispatch(ev.fr, ev.arrival, ev.retries)
+		case evComplete:
+			s.complete(ev.node, ev.c)
+		case evCrash:
+			s.crash(ev.node, ev.c)
+		}
 	}
 	return &s.collector, nil
 }
 
+type eventKind uint8
+
+const (
+	// evDispatch re-dispatches a request parked while all its candidate
+	// nodes were down.
+	evDispatch eventKind = iota
+	// evComplete frees a container at its service completion.
+	evComplete
+	// evCrash destroys a container at its injected crash point.
+	evCrash
+)
+
+// event is a typed engine event. A flat struct on a hand-rolled heap instead
+// of closures through container/heap: no per-event closure allocation and no
+// interface boxing on push/pop.
 type event struct {
-	at  time.Duration
-	seq int
-	fn  func()
+	at      time.Duration
+	seq     int
+	kind    eventKind
+	node    *Node
+	c       *Container
+	fr      *fnRuntime
+	arrival time.Duration
+	retries int
 }
 
+// eventHeap is a min-heap ordered by (at, seq).
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) before(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
-func (s *Simulator) schedule(at time.Duration, fn func()) {
-	heap.Push(&s.events, event{at: at, seq: s.seq, fn: fn})
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q.before(p, i) {
+			break
+		}
+		q[p], q[i] = q[i], q[p]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{}
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.before(l, small) {
+			small = l
+		}
+		if r < n && q.before(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	return top
+}
+
+func (s *Simulator) schedule(ev event) {
+	ev.seq = s.seq
 	s.seq++
+	s.events.push(ev)
 }
 
 // arrive routes a new request to a node and tries to serve it.
-func (s *Simulator) arrive(fn *Function, arrival time.Duration) {
-	s.observeArrival(fn, arrival)
+func (s *Simulator) arrive(fr *fnRuntime, arrival time.Duration) {
+	s.observeArrival(fr, arrival)
 	if s.inj.Fire(faults.Outage) {
-		s.failNode(s.route(fn))
+		s.failNode(s.routeFor(fr))
 	}
-	s.dispatch(fn, arrival, 0)
+	s.dispatch(fr, arrival, 0)
 }
 
 // dispatch routes a (possibly retried) request. When every candidate node is
 // down it parks the request until the earliest recovery.
-func (s *Simulator) dispatch(fn *Function, arrival time.Duration, retries int) {
-	node := s.route(fn)
+func (s *Simulator) dispatch(fr *fnRuntime, arrival time.Duration, retries int) {
+	node := s.routeFor(fr)
 	if node.Down(s.clock) {
+		// The router only returns a down node when the whole candidate set
+		// is down; park until the earliest recovery.
 		at := node.DownUntil
-		for _, n := range s.candidates(fn) {
+		for _, n := range fr.cands {
 			if n.DownUntil < at {
 				at = n.DownUntil
 			}
 		}
-		s.schedule(at, func() { s.dispatch(fn, arrival, retries) })
+		s.schedule(event{at: at, kind: evDispatch, fr: fr, arrival: arrival, retries: retries})
 		return
 	}
-	s.serveOrQueue(node, fn, arrival, retries)
+	s.serveOrQueue(node, fr, arrival, retries)
 }
 
 // failNode takes a node down for the configured outage duration: resident
@@ -305,16 +541,20 @@ func (s *Simulator) failNode(n *Node) {
 	n.Containers = nil
 	requeue := n.queue
 	n.queue = nil
+	if n.idx != nil {
+		n.idx.reset()
+	}
 	for _, c := range lost {
 		c.dead = true
+		c.idxState = idxNone
 		s.watchdog.Expire(c.ID)
-		if c.serving != nil {
-			s.retryOrDrop(*c.serving)
-			c.serving = nil
+		if c.hasServing {
+			c.hasServing = false
+			s.retryOrDrop(c.serving)
 		}
 	}
 	for _, q := range requeue {
-		s.dispatch(q.fn, q.arrival, q.retries)
+		s.dispatch(q.fr, q.arrival, q.retries)
 	}
 }
 
@@ -326,7 +566,24 @@ func (s *Simulator) retryOrDrop(in inflight) {
 		return
 	}
 	s.collector.Faults.Retries++
-	s.dispatch(in.fn, in.arrival, in.retries+1)
+	s.dispatch(in.fr, in.arrival, in.retries+1)
+}
+
+// routeFor routes through the index when enabled, falling back to (or
+// cross-checking against) the legacy scanning router.
+func (s *Simulator) routeFor(fr *fnRuntime) *Node {
+	if !s.idxOn {
+		return s.route(fr.fn)
+	}
+	picked := s.routeIndexed(fr)
+	if s.cfg.CrossCheckRouting {
+		if scan := s.route(fr.fn); scan != picked {
+			panic(fmt.Sprintf(
+				"simulate: routing divergence for %q at %v: index chose node %d, scan chose node %d",
+				fr.fn.Name, s.clock, picked.ID, scan.ID))
+		}
+	}
+	return picked
 }
 
 // route picks the best candidate node for fn: a warm idle container wins,
@@ -335,6 +592,10 @@ func (s *Simulator) retryOrDrop(in inflight) {
 // "home" node within its candidate set wins, so a function placed on a
 // multi-node cluster keeps warm-container locality instead of fragmenting
 // containers across the cluster.
+//
+// This is the legacy scanning router: O(containers) per candidate node. It
+// serves the Online path, the RouteScan baseline, and the CrossCheckRouting
+// oracle; trace replay normally routes through routeIndexed.
 func (s *Simulator) route(fn *Function) *Node {
 	cands := s.candidates(fn)
 	now := s.clock
@@ -346,7 +607,7 @@ func (s *Simulator) route(fn *Function) *Node {
 		switch {
 		case n.WarmIdle(fn, now) != nil:
 			score = 3_000_000
-		case len(n.IdleOthers(fn, now, s.env.IdleThreshold)) > 0:
+		case n.HasIdleOther(fn, now, s.env.IdleThreshold):
 			score = 2_000_000
 		case n.CanPlace(now):
 			score = 1_000_000
@@ -359,6 +620,75 @@ func (s *Simulator) route(fn *Function) *Node {
 			bestScore = score
 			best = n
 		}
+	}
+	return best
+}
+
+// routeIndexed is route() answered from the per-node index: no candidate
+// slice is built and no container is scanned. It iterates fr's cached
+// candidate list, skipping down nodes exactly as candidates() filters them
+// (when everything is down the full list is scored, mirroring the fallback),
+// and scores each node from counters expire() brings up to date.
+func (s *Simulator) routeIndexed(fr *fnRuntime) *Node {
+	now := s.clock
+	ord := fr.ord
+	cands := fr.cands
+	up := 0
+	for _, n := range cands {
+		if !n.Down(now) {
+			up++
+		}
+	}
+	all := up == 0 || up == len(cands)
+	var homeIdx int
+	if all {
+		homeIdx = int(fr.hash) % len(cands)
+	} else {
+		homeIdx = int(fr.hash) % up
+	}
+	// Fast path for the dominant case: a warm home node is the unique argmax,
+	// so the scoring loop (and the other candidates' expire calls) can be
+	// skipped. Proof: the home node scores 3.5M − p_home with penalty
+	// p = 10·queue + busy ≥ 0; every other node scores ≤ 3M − p_other ≤ 3M.
+	// With p_home < 500_000 the home score is strictly above 3M, and a tie
+	// would need p_other = p_home − 500_000 < 0 — impossible. The guard keeps
+	// exactness even under pathological queue lengths, and the rare
+	// partly-down case falls through to the full scan.
+	if all {
+		home := cands[homeIdx]
+		ix := home.idx
+		ix.expire(now)
+		if ix.warmAt(ord) > 0 && len(home.queue)*10+ix.busy < 500_000 {
+			return home
+		}
+	}
+	var best *Node
+	bestScore := -1 << 30
+	i := 0
+	for _, n := range cands {
+		if !all && n.Down(now) {
+			continue
+		}
+		ix := n.idx
+		ix.expire(now)
+		score := 0
+		switch {
+		case ix.warmAt(ord) > 0:
+			score = 3_000_000
+		case ix.matureTotal-int(ix.matureAt(ord)) > 0:
+			score = 2_000_000
+		case ix.busy < n.Capacity && (n.MemoryMB == 0 || ix.busyMB <= n.MemoryMB):
+			score = 1_000_000
+		}
+		if i == homeIdx {
+			score += 500_000
+		}
+		score -= len(n.queue)*10 + ix.busy
+		if score > bestScore {
+			bestScore = score
+			best = n
+		}
+		i++
 	}
 	return best
 }
@@ -407,9 +737,9 @@ func (s *Simulator) candidates(fn *Function) []*Node {
 	return up
 }
 
-func (s *Simulator) serveOrQueue(node *Node, fn *Function, arrival time.Duration, retries int) {
-	if !s.serve(node, fn, arrival, retries) {
-		node.queue = append(node.queue, queued{fn: fn, arrival: arrival, retries: retries})
+func (s *Simulator) serveOrQueue(node *Node, fr *fnRuntime, arrival time.Duration, retries int) {
+	if !s.serve(node, fr, arrival, retries) {
+		node.queue = append(node.queue, queued{fr: fr, arrival: arrival, retries: retries})
 	}
 }
 
@@ -484,8 +814,10 @@ func (s *Simulator) superviseDecision(d Decision, fn *Function, now time.Duratio
 
 // serve asks the policy for a decision and, if possible, executes it:
 // charging latencies, occupying the container, and scheduling completion.
-func (s *Simulator) serve(node *Node, fn *Function, arrival time.Duration, retries int) bool {
+func (s *Simulator) serve(node *Node, fr *fnRuntime, arrival time.Duration, retries int) bool {
 	now := s.clock
+	fn := fr.fn
+	node.expireIndex(now)
 	node.EvictExpired(now, s.env.KeepAlive)
 	d, ok := s.cfg.Policy.Serve(s.env, node, fn, now)
 	if !ok {
@@ -511,7 +843,7 @@ func (s *Simulator) serve(node *Node, fn *Function, arrival time.Duration, retri
 		c.MemMB = s.env.GrantFor(fn)
 	}
 	c.Fn = fn
-	compute := s.env.Profile.Compute(fn.Model)
+	compute := s.computeFor(fr)
 	service := d.Init + d.Load + compute
 	if s.inj.Fire(faults.Crash) {
 		// The container dies halfway through serving: it is lost at the
@@ -519,15 +851,17 @@ func (s *Simulator) serve(node *Node, fn *Function, arrival time.Duration, retri
 		// retry budget runs out). Wasted time surfaces as extra wait.
 		crashAt := now + service/2
 		c.BusyUntil = crashAt
-		c.serving = &inflight{fn: fn, arrival: arrival, retries: retries}
+		c.serving, c.hasServing = inflight{fr: fr, arrival: arrival, retries: retries}, true
+		node.noteStartService(c, fr.ord)
 		s.watchdog.Lease(c.ID, crashAt)
 		s.collector.Faults.Crashes++
-		s.schedule(crashAt, func() { s.crash(node, c) })
+		s.schedule(event{at: crashAt, kind: evCrash, node: node, c: c})
 		return true
 	}
 	end := now + service
 	c.BusyUntil = end
-	c.serving = &inflight{fn: fn, arrival: arrival, retries: retries}
+	c.serving, c.hasServing = inflight{fr: fr, arrival: arrival, retries: retries}, true
+	node.noteStartService(c, fr.ord)
 	s.watchdog.Lease(c.ID, end)
 	s.collector.Add(metrics.Record{
 		Function: fn.Name,
@@ -541,7 +875,7 @@ func (s *Simulator) serve(node *Node, fn *Function, arrival time.Duration, retri
 		Compute:  compute,
 		Retries:  retries,
 	})
-	s.schedule(end, func() { s.complete(node, c) })
+	s.schedule(event{at: end, kind: evComplete, node: node, c: c})
 	return true
 }
 
@@ -554,20 +888,25 @@ func (s *Simulator) crash(node *Node, c *Container) {
 	c.dead = true
 	node.Remove(c)
 	s.watchdog.Expire(c.ID)
-	if c.serving != nil {
-		s.retryOrDrop(*c.serving)
-		c.serving = nil
+	if c.hasServing {
+		c.hasServing = false
+		s.retryOrDrop(c.serving)
 	}
 	s.drainQueue(node)
 }
 
-// complete frees a container and drains the node's queue.
+// complete frees a container and drains the node's queue. Index timers are
+// drained before LastDone is rewritten so the busy→idle transition observes
+// the stale LastDone, exactly as a same-timestamp arrival's scan would;
+// noteComplete then re-keys the container's maturation to the fresh value.
 func (s *Simulator) complete(node *Node, c *Container) {
 	if c.dead {
 		return // destroyed by an outage while this completion was pending
 	}
+	node.expireIndex(s.clock)
 	c.LastDone = s.clock
-	c.serving = nil
+	c.hasServing = false
+	node.noteComplete(c, s.clock)
 	s.watchdog.Complete(c.ID)
 	s.drainQueue(node)
 }
@@ -576,7 +915,7 @@ func (s *Simulator) complete(node *Node, c *Container) {
 func (s *Simulator) drainQueue(node *Node) {
 	for len(node.queue) > 0 {
 		q := node.queue[0]
-		if !s.serve(node, q.fn, q.arrival, q.retries) {
+		if !s.serve(node, q.fr, q.arrival, q.retries) {
 			return
 		}
 		node.queue = node.queue[1:]

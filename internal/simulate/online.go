@@ -60,7 +60,8 @@ func (o *Online) Snapshot(now time.Duration) []*Node {
 		cp.Containers = make([]*Container, len(n.Containers))
 		for j, c := range n.Containers {
 			cc := *c
-			cc.serving = nil
+			cc.serving, cc.hasServing = inflight{}, false
+			cc.idxState = idxNone
 			cp.Containers[j] = &cc
 		}
 		out[i] = cp
@@ -122,7 +123,8 @@ func (o *Online) Invoke(name string, now time.Duration) (metrics.Record, error) 
 		now = s.clock // clock is monotone
 	}
 	s.clock = now
-	s.observeArrival(fn, now)
+	fr := s.rt(fn)
+	s.observeArrival(fr, now)
 	if s.inj.Fire(faults.Outage) {
 		s.outageOnline(s.route(fn), now)
 	}
@@ -151,7 +153,7 @@ func (o *Online) Invoke(name string, now time.Duration) (metrics.Record, error) 
 				c.MemMB = s.env.GrantFor(fn)
 			}
 			c.Fn = fn
-			compute := s.env.Profile.Compute(fn.Model)
+			compute := s.computeFor(fr)
 			service := d.Init + d.Load + compute
 			if s.inj.Fire(faults.Crash) {
 				// The container dies mid-request; retry from the crash
@@ -209,7 +211,7 @@ func (s *Simulator) outageOnline(n *Node, now time.Duration) {
 	n.DownUntil = now + s.cfg.OutageDuration
 	for _, c := range n.Containers {
 		c.dead = true
-		c.serving = nil
+		c.hasServing = false
 		s.watchdog.Expire(c.ID)
 	}
 	n.Containers = nil

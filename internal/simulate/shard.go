@@ -1,0 +1,286 @@
+package simulate
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// This file implements sharded parallel trace replay. When Config.Placement
+// partitions the functions into disjoint node groups, requests in one group
+// can never observe state touched by another — routing, queueing, container
+// reuse and repurposing are all confined to the group's nodes — so the trace
+// splits by group and the groups replay concurrently, each in its own
+// sub-simulator, with bitwise-identical per-request results.
+//
+// Sharding is refused (serial fallback, with the reason reported) whenever any
+// cross-shard coupling could change results:
+//
+//   - no placement, or the placement connects the nodes into a single group:
+//     there is nothing independent to split;
+//   - fault injection enabled: the injector is one deterministic random
+//     stream whose draws depend on global request order;
+//   - online profiling enabled: the estimator learns from every executed
+//     transform, coupling decisions across the whole trace.
+//
+// Estimator noise (Config.EstimatorErr) is shard-safe: it is fixed at
+// construction from the seed, and every sub-simulator is built with the same
+// seed. Plan caches are per-shard; planning is deterministic, so per-request
+// records are unaffected.
+
+// ShardReport describes how RunSharded executed a replay.
+type ShardReport struct {
+	// Shards is the number of sub-simulators run (1 when serial).
+	Shards int
+	// Workers is the bound on concurrently running sub-simulators.
+	Workers int
+	// SerialReason is empty when the replay was sharded; otherwise it names
+	// the coupling that forced the serial fallback.
+	SerialReason string
+	// TransformsVerified and TransformsFailed aggregate the sub-simulators'
+	// counters (see Simulator).
+	TransformsVerified int
+	TransformsFailed   int
+}
+
+// Sharded reports whether the replay actually ran in parallel shards.
+func (r ShardReport) Sharded() bool { return r.SerialReason == "" }
+
+// shardPlan is one independent node group and the functions bound to it.
+type shardPlan struct {
+	fns     map[string]bool
+	minNode int
+}
+
+// planShards partitions the trace's functions into independent node groups,
+// or explains why it cannot. cfg must already have defaults applied.
+func planShards(cfg Config, tr *workload.Trace) ([]shardPlan, string) {
+	if cfg.Faults.Enabled() {
+		return nil, "fault injection draws from one global random stream"
+	}
+	if cfg.OnlineProfiling > 0 {
+		return nil, "online profiling couples the cost estimator across all requests"
+	}
+	if len(cfg.Placement) == 0 {
+		return nil, "no placement: every function routes across all nodes"
+	}
+	if cfg.Nodes < 2 {
+		return nil, "single node"
+	}
+
+	// Union-find over node IDs: each function unions its candidate nodes,
+	// using exactly the clamping resolveCandidates applies (invalid IDs
+	// dropped; an absent, empty, or fully-invalid entry spans all nodes).
+	parent := make([]int, cfg.Nodes)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	names := make([]string, 0, 16)
+	seen := make(map[string][]int)
+	for _, r := range tr.Requests {
+		if _, ok := seen[r.Function]; ok {
+			continue
+		}
+		ids := cfg.Placement[r.Function]
+		cands := make([]int, 0, len(ids))
+		for _, id := range ids {
+			if id >= 0 && id < cfg.Nodes {
+				cands = append(cands, id)
+			}
+		}
+		if len(cands) == 0 { // unplaced: spans every node
+			for i := 1; i < cfg.Nodes; i++ {
+				union(0, i)
+			}
+			cands = append(cands, 0)
+		}
+		for _, id := range cands[1:] {
+			union(cands[0], id)
+		}
+		seen[r.Function] = cands
+		names = append(names, r.Function)
+	}
+
+	byRoot := make(map[int]*shardPlan)
+	for _, name := range names {
+		root := find(seen[name][0])
+		sp, ok := byRoot[root]
+		if !ok {
+			sp = &shardPlan{fns: make(map[string]bool), minNode: cfg.Nodes}
+			byRoot[root] = sp
+		}
+		sp.fns[name] = true
+		for _, id := range seen[name] {
+			if id < sp.minNode {
+				sp.minNode = id
+			}
+		}
+	}
+	if len(byRoot) < 2 {
+		return nil, "placement connects the traced functions into a single node group"
+	}
+	shards := make([]shardPlan, 0, len(byRoot))
+	for _, sp := range byRoot {
+		shards = append(shards, *sp)
+	}
+	// Deterministic shard order: by the smallest node ID each group touches.
+	sort.Slice(shards, func(i, j int) bool { return shards[i].minNode < shards[j].minNode })
+	return shards, ""
+}
+
+// addFaults sums fault tallies field-wise.
+func addFaults(a, b metrics.FaultStats) metrics.FaultStats {
+	a.TransformFallbacks += b.TransformFallbacks
+	a.LoadRetries += b.LoadRetries
+	a.Crashes += b.Crashes
+	a.Outages += b.Outages
+	a.Retries += b.Retries
+	a.Dropped += b.Dropped
+	a.Hangs += b.Hangs
+	a.WatchdogCancels += b.WatchdogCancels
+	a.BreakerShortCircuits += b.BreakerShortCircuits
+	return a
+}
+
+// RunSharded replays the trace like New(cfg, fns).Run(tr), splitting it into
+// per-node-group shards replayed concurrently on up to `workers` goroutines
+// when the placement permits (workers <= 0 means GOMAXPROCS; workers == 1
+// forces the serial path). The merged collector holds every shard's records
+// sorted by service start time — aggregate views (mean, percentiles, kind
+// fractions, fault tallies) are identical to a serial replay's.
+func RunSharded(cfg Config, fns []*Function, tr *workload.Trace, workers int) (*metrics.Collector, ShardReport, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	dcfg := cfg.withDefaults()
+	var shards []shardPlan
+	report := ShardReport{Workers: workers}
+	if workers == 1 {
+		report.SerialReason = "workers=1"
+	} else {
+		shards, report.SerialReason = planShards(dcfg, tr)
+	}
+	if report.SerialReason != "" {
+		sim := New(cfg, fns)
+		col, err := sim.Run(tr)
+		report.Shards = 1
+		report.TransformsVerified = sim.TransformsVerified
+		report.TransformsFailed = sim.TransformsFailed
+		return col, report, err
+	}
+	report.Shards = len(shards)
+	if len(shards) < workers {
+		workers = len(shards)
+	}
+	report.Workers = workers
+
+	// Split the trace stably: each shard replays its functions' requests in
+	// original trace order, exactly as a serial run would deliver them. One
+	// pass with a name→shard table beats filtering per shard — the per-shard
+	// scan costs k map lookups per request.
+	byFn := make(map[string]int, 64)
+	for i, sp := range shards {
+		for name := range sp.fns {
+			byFn[name] = i
+		}
+	}
+	// First pass resolves each request's shard once (the map lookup is the
+	// expensive part); the counts size every sub-trace exactly, so placement
+	// is growth-free appends.
+	reqShard := make([]int32, len(tr.Requests))
+	counts := make([]int, len(shards))
+	for j, r := range tr.Requests {
+		i := byFn[r.Function]
+		reqShard[j] = int32(i)
+		counts[i]++
+	}
+	subTraces := make([]*workload.Trace, len(shards))
+	for i := range shards {
+		subTraces[i] = &workload.Trace{
+			Duration: tr.Duration,
+			Requests: make([]workload.Request, 0, counts[i]),
+		}
+	}
+	for j, r := range tr.Requests {
+		i := reqShard[j]
+		subTraces[i].Requests = append(subTraces[i].Requests, r)
+	}
+
+	sims := make([]*Simulator, len(shards))
+	cols := make([]*metrics.Collector, len(shards))
+	errs := make([]error, len(shards))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// Every sub-simulator gets the full cluster and function set with
+			// the same seed; only its trace subset differs. Its functions can
+			// route only to its group's nodes, so the other (empty, untouched)
+			// nodes never influence a decision.
+			sims[i] = New(cfg, fns)
+			cols[i], errs[i] = sims[i].Run(subTraces[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, report, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+
+	// Merge: each shard's record stream is already sorted by start time (the
+	// simulation clock is monotone), so a k-way merge — ties resolved by
+	// shard order, i.e. min node ID — produces the sorted output without a
+	// post-hoc sort. Fault tallies and transform counters are summed.
+	total := 0
+	merged := &metrics.Collector{}
+	for i, c := range cols {
+		total += c.Len()
+		merged.Faults = addFaults(merged.Faults, c.Faults)
+		report.TransformsVerified += sims[i].TransformsVerified
+		report.TransformsFailed += sims[i].TransformsFailed
+	}
+	merged.Reserve(total)
+	streams := make([][]metrics.Record, len(cols))
+	for i, c := range cols {
+		streams[i] = c.Records()
+	}
+	pos := make([]int, len(streams))
+	for {
+		pick := -1
+		var at time.Duration
+		for i, st := range streams {
+			if pos[i] == len(st) {
+				continue
+			}
+			if s := st[pos[i]].Start; pick < 0 || s < at {
+				pick, at = i, s
+			}
+		}
+		if pick < 0 {
+			break
+		}
+		merged.Add(streams[pick][pos[pick]])
+		pos[pick]++
+	}
+	return merged, report, nil
+}

@@ -1,0 +1,268 @@
+package simulate_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/policy"
+	"repro/internal/simulate"
+	"repro/internal/workload"
+)
+
+// shardedNames covers eight functions split 4/4 across two disjoint node
+// groups by the placement below.
+var shardedNames = []string{
+	"resnet18-imagenet", "resnet34-imagenet", "resnet50-imagenet", "vgg16-imagenet",
+	"vgg19-imagenet", "densenet121-imagenet", "densenet169-imagenet", "mobilenet-w1-imagenet",
+}
+
+// shardedPlacement maps the first four functions onto nodes {0,1} and the
+// rest onto nodes {2,3}: two independent groups.
+func shardedPlacement() map[string][]int {
+	out := map[string][]int{}
+	for i, n := range shardedNames {
+		if i < 4 {
+			out[n] = []int{0, 1}
+		} else {
+			out[n] = []int{2, 3}
+		}
+	}
+	return out
+}
+
+func shardedConfig(algo planner.Algorithm) simulate.Config {
+	return simulate.Config{
+		Policy: policy.Optimus{}, Nodes: 4, ContainersPerNode: 3,
+		Placement:   shardedPlacement(),
+		PlannerAlgo: algo,
+		Seed:        11,
+	}
+}
+
+// tinyFunctions builds functions over small chain models that stay within
+// the brute-force planner's factorial limit (the zoo models are far too
+// large for it). Names reuse shardedNames so shardedPlacement applies.
+func tinyFunctions() []*simulate.Function {
+	out := make([]*simulate.Function, len(shardedNames))
+	for i, name := range shardedNames {
+		b := model.NewBuilder(name, "tiny", "t")
+		// Vary depth and widths so different pairs transform differently.
+		b.Conv("c1", 3, 8, 8+i, 1)
+		b.ReLU("r1", 8+i)
+		if i%2 == 0 {
+			b.Conv("c2", 1, 8+i, 8, 1)
+		}
+		out[i] = &simulate.Function{Name: name, Model: b.Graph()}
+	}
+	return out
+}
+
+// TestShardDeterminism is the shard-merge equivalence proof: for a fixed
+// seed, across all three planner algorithms, the sharded replay's kind
+// fractions, mean latency, percentiles, and fault counters are byte-identical
+// to the serial replay's. Run with -race: it also exercises the concurrent
+// sub-simulators.
+func TestShardDeterminism(t *testing.T) {
+	zooFns := testFunctions(t, shardedNames...)
+	tr := workload.MixedPoisson(shardedNames, 12*time.Hour, 23)
+	for _, algo := range []planner.Algorithm{planner.AlgoGroup, planner.AlgoHungarian, planner.AlgoBrute} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			fns := zooFns
+			if algo == planner.AlgoBrute {
+				fns = tinyFunctions() // brute needs tiny cost matrices
+			}
+			cfg := shardedConfig(algo)
+			serial, err := simulate.New(cfg, fns).Run(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			merged, rep, err := simulate.RunSharded(cfg, fns, tr, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Sharded() {
+				t.Fatalf("expected sharded run, got serial: %q", rep.SerialReason)
+			}
+			if rep.Shards != 2 {
+				t.Fatalf("expected 2 shards, got %d", rep.Shards)
+			}
+			if merged.Len() != serial.Len() {
+				t.Fatalf("record counts: sharded %d, serial %d", merged.Len(), serial.Len())
+			}
+			if merged.Faults != serial.Faults {
+				t.Errorf("fault stats: sharded %+v, serial %+v", merged.Faults, serial.Faults)
+			}
+			sk, mk := serial.KindFractions(), merged.KindFractions()
+			for k, v := range sk {
+				if mk[k] != v { // exact float equality: same counts, same total
+					t.Errorf("kind %v fraction: sharded %v, serial %v", k, mk[k], v)
+				}
+			}
+			if got, want := merged.MeanLatency(), serial.MeanLatency(); got != want {
+				t.Errorf("mean latency: sharded %v, serial %v", got, want)
+			}
+			for _, p := range []float64{50, 90, 95, 99, 100} {
+				if got, want := merged.Percentile(p), serial.Percentile(p); got != want {
+					t.Errorf("P%v: sharded %v, serial %v", p, got, want)
+				}
+			}
+			// The multiset of records matches exactly: compare per-function
+			// record slices (within one function, arrival order is total).
+			sp, mp := serial.PerFunction(), merged.PerFunction()
+			for name, sc := range sp {
+				mc, ok := mp[name]
+				if !ok || mc.Len() != sc.Len() {
+					t.Fatalf("%s: record count mismatch", name)
+				}
+				for i, r := range sc.Records() {
+					if mc.Records()[i] != r {
+						t.Fatalf("%s record %d: sharded %+v, serial %+v", name, i, mc.Records()[i], r)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardDeterminismRepeatable pins run-to-run stability of the sharded
+// path itself: two sharded replays with the same seed are identical
+// record-for-record regardless of goroutine scheduling.
+func TestShardDeterminismRepeatable(t *testing.T) {
+	fns := testFunctions(t, shardedNames...)
+	tr := workload.MixedPoisson(shardedNames, 6*time.Hour, 77)
+	cfg := shardedConfig(planner.AlgoGroup)
+	a, _, err := simulate.RunSharded(cfg, fns, tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := simulate.RunSharded(cfg, fns, tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.Records(), b.Records()
+	if len(ra) != len(rb) {
+		t.Fatalf("record counts differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("record %d differs across worker counts:\n%+v\n%+v", i, ra[i], rb[i])
+		}
+	}
+}
+
+// TestShardSerialFallbacks verifies every coupling that makes sharding unsafe
+// is detected and reported, and that the fallback still produces a full run.
+func TestShardSerialFallbacks(t *testing.T) {
+	fns := testFunctions(t, shardedNames[:4]...)
+	tr := workload.MixedPoisson(shardedNames[:4], time.Hour, 5)
+	cases := []struct {
+		name   string
+		mut    func(*simulate.Config)
+		reason string
+	}{
+		{"no placement", func(c *simulate.Config) { c.Placement = nil }, "no placement"},
+		{"faults", func(c *simulate.Config) { c.Faults = faults.Rates{Crash: 0.1} }, "random stream"},
+		{"legacy fault rate", func(c *simulate.Config) { c.TransformFailureRate = 0.1 }, "random stream"},
+		{"online profiling", func(c *simulate.Config) { c.OnlineProfiling = 0.2 }, "online profiling"},
+		{"single group", func(c *simulate.Config) {
+			c.Placement = map[string][]int{shardedNames[0]: {0, 1}, shardedNames[1]: {1, 2}, shardedNames[2]: {2, 3}}
+		}, "single node group"},
+		{"overlapping via unplaced fn", func(c *simulate.Config) {
+			delete(c.Placement, shardedNames[0]) // spans all nodes
+		}, "single node group"},
+		{"one worker", nil, "workers=1"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := simulate.Config{
+				Policy: policy.Optimus{}, Nodes: 4, ContainersPerNode: 3,
+				Placement: map[string][]int{
+					shardedNames[0]: {0, 1}, shardedNames[1]: {0, 1},
+					shardedNames[2]: {2, 3}, shardedNames[3]: {2, 3},
+				},
+			}
+			workers := 4
+			if tc.mut != nil {
+				tc.mut(&cfg)
+			} else {
+				workers = 1
+			}
+			col, rep, err := simulate.RunSharded(cfg, fns, tr, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Sharded() {
+				t.Fatalf("expected serial fallback, ran %d shards", rep.Shards)
+			}
+			if !strings.Contains(rep.SerialReason, tc.reason) {
+				t.Errorf("reason %q does not mention %q", rep.SerialReason, tc.reason)
+			}
+			if col.Len() == 0 {
+				t.Error("fallback run produced no records")
+			}
+		})
+	}
+}
+
+// TestShardFourWay exercises more shards than workers (bounded pool) and an
+// uneven function-to-group spread.
+func TestShardFourWay(t *testing.T) {
+	fns := testFunctions(t, shardedNames...)
+	placement := map[string][]int{}
+	for i, n := range shardedNames {
+		placement[n] = []int{i % 4} // 4 single-node groups, 2 fns each
+	}
+	cfg := simulate.Config{
+		Policy: policy.Optimus{}, Nodes: 4, ContainersPerNode: 3,
+		Placement: placement, Seed: 3,
+	}
+	tr := workload.MixedPoisson(shardedNames, 6*time.Hour, 31)
+	serial, err := simulate.New(cfg, fns).Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, rep, err := simulate.RunSharded(cfg, fns, tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shards != 4 || rep.Workers != 2 {
+		t.Fatalf("expected 4 shards on 2 workers, got %d on %d", rep.Shards, rep.Workers)
+	}
+	if merged.Len() != serial.Len() || merged.MeanLatency() != serial.MeanLatency() {
+		t.Fatalf("sharded (n=%d mean=%v) != serial (n=%d mean=%v)",
+			merged.Len(), merged.MeanLatency(), serial.Len(), serial.MeanLatency())
+	}
+	if math.Abs(float64(merged.Percentile(99)-serial.Percentile(99))) > 0 {
+		t.Fatalf("P99 diverges")
+	}
+}
+
+// TestShardVerifyTransformsCounter checks transform counters aggregate across
+// sub-simulators.
+func TestShardVerifyTransformsCounter(t *testing.T) {
+	fns := testFunctions(t, shardedNames...)
+	cfg := shardedConfig(planner.AlgoGroup)
+	cfg.VerifyTransforms = true
+	tr := workload.MixedPoisson(shardedNames, 4*time.Hour, 19)
+	serialSim := simulate.New(cfg, fns)
+	if _, err := serialSim.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := simulate.RunSharded(cfg, fns, tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TransformsVerified != serialSim.TransformsVerified {
+		t.Errorf("verified transforms: sharded %d, serial %d", rep.TransformsVerified, serialSim.TransformsVerified)
+	}
+	if serialSim.TransformsVerified == 0 {
+		t.Skip("workload produced no transforms to verify")
+	}
+}

@@ -46,15 +46,24 @@ type Container struct {
 	// dead marks a container destroyed by an injected crash or node
 	// outage; pending completion events for it are ignored.
 	dead bool
-	// serving is the request in flight, kept so a crash or outage can
-	// re-dispatch it (trace-replay mode only).
-	serving *inflight
+	// idxState is the routing index's view of the container (idx* constants);
+	// idxNone when the node's index is disabled.
+	idxState uint8
+	// idxOrd is the function ordinal the container's index registration is
+	// counted under; rewritten by startService when the container is served
+	// (possibly repurposed) for another function.
+	idxOrd int32
+	// serving is the request in flight (valid when hasServing), kept so a
+	// crash or outage can re-dispatch it (trace-replay mode only). A value
+	// rather than a pointer so the hot path never allocates per request.
+	serving    inflight
+	hasServing bool
 }
 
 // inflight is the bookkeeping for a request being served, carried so fault
 // recovery can re-dispatch it with its retry budget.
 type inflight struct {
-	fn      *Function
+	fr      *fnRuntime
 	arrival time.Duration
 	retries int
 }
@@ -87,6 +96,9 @@ type Node struct {
 
 	queue  []queued
 	nextID int
+	// idx is the incrementally-maintained routing index (index.go); nil when
+	// the simulator routes by scanning (Online mode, RouteScan baseline).
+	idx *nodeIndex
 }
 
 // Down reports whether the node is out due to an injected outage.
@@ -107,7 +119,7 @@ func (n *Node) fitsMemory(need int) bool {
 }
 
 type queued struct {
-	fn      *Function
+	fr      *fnRuntime
 	arrival time.Duration
 	retries int
 }
@@ -132,6 +144,18 @@ func (n *Node) IdleOthers(fn *Function, now, minIdle time.Duration) []*Container
 		}
 	}
 	return out
+}
+
+// HasIdleOther reports whether the node holds at least one container of
+// another function idle for at least minIdle — the IdleOthers predicate
+// without materializing the slice, so routing scores allocate nothing.
+func (n *Node) HasIdleOther(fn *Function, now, minIdle time.Duration) bool {
+	for _, c := range n.Containers {
+		if c.Fn != fn && !c.Busy(now) && c.IdleFor(now) >= minIdle {
+			return true
+		}
+	}
+	return false
 }
 
 // RepurposeCandidates returns the idle containers of other functions that a
@@ -224,16 +248,44 @@ func (n *Node) CanPlaceFor(now time.Duration, memMB int) bool {
 }
 
 // EvictExpired removes containers idle longer than keepAlive (the 10-minute
-// keep-alive strategy all compared systems share, §8.1).
+// keep-alive strategy all compared systems share, §8.1). With the routing
+// index enabled it keeps a conservative lower bound on the earliest possible
+// expiry and skips the scan entirely until then; the bound accounts for the
+// stale-LastDone boundary (a container at now == BusyUntil whose completion
+// event has not yet run is judged by its previous LastDone, exactly as the
+// scan does).
 func (n *Node) EvictExpired(now, keepAlive time.Duration) {
+	if ix := n.idx; ix != nil && ix.evictSet && now < ix.nextEvict {
+		return
+	}
 	kept := n.Containers[:0]
 	for _, c := range n.Containers {
 		if !c.Busy(now) && c.IdleFor(now) >= keepAlive {
+			if n.idx != nil {
+				n.idx.remove(c)
+			}
 			continue
 		}
 		kept = append(kept, c)
 	}
 	n.Containers = kept
+	if ix := n.idx; ix != nil {
+		// Recompute the bound: an idle container can expire at
+		// LastDone+keepAlive; a busy one no earlier than both its BusyUntil
+		// and its (stale) LastDone+keepAlive; containers created later expire
+		// no earlier than now+keepAlive.
+		next := now + keepAlive
+		for _, c := range n.Containers {
+			e := c.LastDone + keepAlive
+			if c.Busy(now) && c.BusyUntil > e {
+				e = c.BusyUntil
+			}
+			if e < next {
+				next = e
+			}
+		}
+		ix.nextEvict, ix.evictSet = next, true
+	}
 }
 
 // evictLRUIdle removes the longest-idle container to make room; it returns
@@ -253,6 +305,9 @@ func (n *Node) evictLRUIdle(now time.Duration) bool {
 	if idx < 0 {
 		return false
 	}
+	if n.idx != nil {
+		n.idx.remove(n.Containers[idx])
+	}
 	n.Containers = append(n.Containers[:idx], n.Containers[idx+1:]...)
 	return true
 }
@@ -269,6 +324,9 @@ func (n *Node) newContainer(fn *Function, memMB int, now time.Duration) *Contain
 	c := &Container{ID: n.ID*1_000_000 + n.nextID, Fn: fn, MemMB: memMB, Created: now, LastDone: now}
 	n.nextID++
 	n.Containers = append(n.Containers, c)
+	if n.idx != nil {
+		n.idx.add(c, now)
+	}
 	return c
 }
 
@@ -277,6 +335,9 @@ func (n *Node) newContainer(fn *Function, memMB int, now time.Duration) *Contain
 func (n *Node) Remove(c *Container) {
 	for i, x := range n.Containers {
 		if x == c {
+			if n.idx != nil {
+				n.idx.remove(c)
+			}
 			n.Containers = append(n.Containers[:i], n.Containers[i+1:]...)
 			return
 		}

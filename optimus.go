@@ -302,11 +302,12 @@ func (s *System) Functions() []string {
 	return out
 }
 
-// Run replays the trace against the cluster and returns the report.
-func (s *System) Run(trace *Trace) (*Report, error) {
+// simConfig resolves the system configuration (policy, placement, faults)
+// into the simulator's Config for a run over the given trace.
+func (s *System) simConfig(trace *Trace) (simulate.Config, error) {
 	pol, err := s.cfg.Policy.impl()
 	if err != nil {
-		return nil, err
+		return simulate.Config{}, err
 	}
 	nodes := s.cfg.Nodes
 	if nodes <= 0 {
@@ -319,7 +320,7 @@ func (s *System) Run(trace *Trace) (*Report, error) {
 	} else {
 		placement = simulate.HashPlacement(names, nodes)
 	}
-	sim := simulate.New(simulate.Config{
+	return simulate.Config{
 		Nodes:                nodes,
 		ContainersPerNode:    s.cfg.ContainersPerNode,
 		KeepAlive:            s.cfg.KeepAlive,
@@ -342,12 +343,44 @@ func (s *System) Run(trace *Trace) (*Report, error) {
 			Threshold: s.cfg.BreakerThreshold,
 			Cooldown:  s.cfg.BreakerCooldown,
 		},
-	}, s.fns)
+	}, nil
+}
+
+// Run replays the trace against the cluster and returns the report.
+func (s *System) Run(trace *Trace) (*Report, error) {
+	cfg, err := s.simConfig(trace)
+	if err != nil {
+		return nil, err
+	}
+	sim := simulate.New(cfg, s.fns)
 	col, err := sim.Run(trace)
 	if err != nil {
 		return nil, err
 	}
 	return &Report{Collector: col, Policy: string(s.cfg.Policy), Verified: sim.TransformsVerified}, nil
+}
+
+// RunSharded replays the trace like Run but splits it across the placement's
+// disjoint node groups and replays the groups in parallel on up to `workers`
+// goroutines (0 means GOMAXPROCS, 1 forces serial) — see simulate.RunSharded.
+// Aggregate results are identical to Run's; when sharding would change
+// results (overlapping placement, fault injection, online profiling) the
+// replay silently falls back to serial and Report.Sharding says why.
+func (s *System) RunSharded(trace *Trace, workers int) (*Report, error) {
+	cfg, err := s.simConfig(trace)
+	if err != nil {
+		return nil, err
+	}
+	col, rep, err := simulate.RunSharded(cfg, s.fns, trace, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Collector: col,
+		Policy:    string(s.cfg.Policy),
+		Verified:  rep.TransformsVerified,
+		Sharding:  rep,
+	}, nil
 }
 
 func (s *System) balancerPlacement(trace *Trace, nodes int) map[string][]int {
@@ -371,6 +404,9 @@ type Report struct {
 	// Verified counts transformation plans executed through the
 	// meta-operator engine (only with SystemConfig.VerifyTransforms).
 	Verified int
+	// Sharding describes how RunSharded parallelized the replay (zero for
+	// plain Run).
+	Sharding simulate.ShardReport
 }
 
 // FaultSummary renders the run's failure/recovery tallies, or "" when no
