@@ -1,12 +1,27 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-scale microbench benchguard scaleguard fuzz check
+.PHONY: build vet fmt lint test race bench bench-scale microbench benchguard scaleguard fuzz check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# fmt fails (listing the offending files) when any tracked Go file is not
+# gofmt-clean; it never rewrites.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$out"; \
+		exit 1; \
+	fi
+
+# lint runs the project's own static analyzer (cmd/optimus-lint): wallclock,
+# globalrand, maprange, lockedescape, panicpath. Exit is non-zero on any
+# finding, including unused //optimus:allow directives.
+lint:
+	$(GO) run ./cmd/optimus-lint ./...
 
 test:
 	$(GO) test ./...
@@ -42,11 +57,13 @@ benchguard:
 scaleguard:
 	$(GO) test -run 'TestScale' ./internal/experiments
 
-# fuzz runs a short native-fuzzing smoke over the plan executor.
+# fuzz runs a short native-fuzzing smoke over the plan executor and the
+# lint-directive parser.
 fuzz:
 	$(GO) test -fuzz='^FuzzPlanApply$$' -fuzztime=10s -run '^$$' ./internal/planner
+	$(GO) test -fuzz='^FuzzDirectiveParse$$' -fuzztime=10s -run '^$$' ./internal/analysis
 
-# check is the pre-merge gate: static analysis, a full build, the test
-# suite under the race detector (the gateway stress test needs it), and the
-# benchmark regression guards.
-check: vet build race benchguard scaleguard
+# check is the pre-merge gate: formatting, static analysis (go vet plus the
+# project linter), a full build, the test suite under the race detector (the
+# gateway stress test needs it), and the benchmark regression guards.
+check: fmt vet lint build race benchguard scaleguard

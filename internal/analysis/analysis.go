@@ -1,0 +1,149 @@
+// Package analysis is a self-contained static-analysis framework built on
+// the standard library's go/parser, go/ast and go/types — no external
+// dependencies, matching the module's zero-requires constraint. It exists to
+// machine-check the determinism invariants every reported result rests on:
+// the simulator's virtual clock never mixes with wall-clock time, all
+// randomness flows from explicit seeds, and map-iteration order never leaks
+// into replay output. PRs 1–4 fixed violations of these invariants by hand
+// (deep-copy Snapshot, seeded fault injector, shard-merge equivalence); the
+// checkers registered with this framework re-discover that bug class on
+// every commit instead of in -race stress runs.
+//
+// The pieces: a Loader that parses and type-checks module packages offline
+// (stdlib imports resolve through the source importer), a Checker interface
+// with a per-package Pass, //optimus:allow suppression directives with
+// unused-directive detection, text and JSON reporters, and a golden-fixture
+// test harness driven by // want comments.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Finding is one diagnostic: a checker's claim that a position violates the
+// invariant it guards.
+type Finding struct {
+	// Checker is the name of the checker that produced the finding, or
+	// DirectiveChecker for problems with suppression directives themselves.
+	Checker string
+	// Pos locates the violation (file, line, column resolved).
+	Pos token.Position
+	// Message states the violated invariant and the repair.
+	Message string
+}
+
+// String renders the finding in the canonical file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Checker, f.Message)
+}
+
+// Checker is one registered analysis. Run inspects a single type-checked
+// package and reports findings through the pass; implementations must be
+// deterministic (findings are sorted afterwards, but messages must not
+// depend on map order or clocks — the linter holds itself to the invariants
+// it enforces).
+type Checker interface {
+	// Name is the registry key, used in -enable/-disable flags and in
+	// //optimus:allow directives. Lowercase, no spaces.
+	Name() string
+	// Doc is a one-line description of the guarded invariant.
+	Doc() string
+	// Run checks one package.
+	Run(p *Pass)
+}
+
+// Pass hands a checker one type-checked package.
+type Pass struct {
+	// Fset resolves token positions for every file in the package.
+	Fset *token.FileSet
+	// Path is the package's import path (e.g. repro/internal/simulate).
+	Path string
+	// Files are the package's parsed files, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the type-checker's resolution maps (Uses, Defs, Types,
+	// Selections) for the package's files.
+	Info *types.Info
+
+	report func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(checker string, pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Checker: checker,
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run loads the packages matched by patterns under the module rooted at
+// root (module path modPath), runs every checker over each, applies
+// //optimus:allow suppressions, and returns the surviving findings sorted
+// by position. Load or type-check failures abort with an error: a package
+// that does not compile cannot be certified.
+func Run(root, modPath string, checkers []Checker, patterns []string) ([]Finding, error) {
+	loader := NewLoader(root, modPath)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool, len(checkers))
+	for _, c := range checkers {
+		known[c.Name()] = true
+	}
+	var all []Finding
+	for _, pkg := range pkgs {
+		all = append(all, runPackage(pkg, checkers, known)...)
+	}
+	sortFindings(all)
+	return all, nil
+}
+
+// runPackage runs the checkers over one loaded package and applies its
+// suppression directives.
+func runPackage(pkg *Package, checkers []Checker, known map[string]bool) []Finding {
+	var findings []Finding
+	pass := &Pass{
+		Fset:   pkg.Fset,
+		Path:   pkg.Path,
+		Files:  pkg.Files,
+		Pkg:    pkg.Types,
+		Info:   pkg.Info,
+		report: func(f Finding) { findings = append(findings, f) },
+	}
+	for _, c := range checkers {
+		c.Run(pass)
+	}
+	directives, directiveFindings := collectDirectives(pkg, known)
+	kept := applySuppressions(findings, directives)
+	kept = append(kept, directiveFindings...)
+	kept = append(kept, unusedDirectiveFindings(directives)...)
+	return kept
+}
+
+// sortFindings orders findings by file, line, column, checker, message —
+// the stable order both reporters emit.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Checker != b.Checker {
+			return a.Checker < b.Checker
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,82 @@
+// Package checkers holds the project-specific optimus-lint checkers. Each
+// guards one determinism or concurrency invariant the reproduction's
+// results rest on; DESIGN.md's "Determinism invariants & static
+// enforcement" section documents the mapping (a guard test keeps the two in
+// sync).
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// All returns the full registry with project-default configuration, in
+// reporting order.
+func All() []analysis.Checker {
+	return []analysis.Checker{
+		DefaultWallclock(),
+		NewGlobalrand(),
+		NewMaprange(),
+		NewLockedescape(),
+		DefaultPanicpath(),
+	}
+}
+
+// pkgFuncRef resolves a selector to (package path, name) when it references
+// a package-level object of an imported package (time.Now, rand.Intn, ...).
+func pkgFuncRef(info *types.Info, sel *ast.SelectorExpr) (pkgPath, name string, obj types.Object, ok bool) {
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", nil, false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", nil, false
+	}
+	obj = info.Uses[sel.Sel]
+	if obj == nil {
+		return "", "", nil, false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, obj, true
+}
+
+// receiverIdent returns the receiver's identifier object for a method
+// declaration, or nil for functions and anonymous receivers.
+func receiverIdent(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// isObjUse reports whether e is an identifier resolving to obj.
+func isObjUse(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && obj != nil && info.Uses[id] == obj
+}
+
+// unparen strips redundant parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// hasPkg reports whether path is one of the listed packages or inside one
+// of their subtrees: a future repro/internal/simulate/tracing must inherit
+// repro/internal/simulate's virtual-time ban.
+func hasPkg(list []string, path string) bool {
+	for _, p := range list {
+		if p == path || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,74 @@
+package checkers_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checkers"
+)
+
+func fixture(name string) string {
+	return filepath.Join("..", "testdata", "src", name)
+}
+
+// virtualPath stands in for a virtual-time package in fixtures.
+const virtualPath = "repro/internal/simulate"
+
+func TestWallclockFixture(t *testing.T) {
+	analysis.RunFixture(t, checkers.NewWallclock([]string{virtualPath}), fixture("wallclock"), virtualPath)
+}
+
+// TestWallclockSubpackage runs the same fixture under a *subpackage* of a
+// virtual-time path: the ban covers the whole subtree, so a future
+// repro/internal/simulate/tracing cannot silently read the wall clock.
+func TestWallclockSubpackage(t *testing.T) {
+	analysis.RunFixture(t, checkers.NewWallclock([]string{virtualPath}), fixture("wallclock"), virtualPath+"/tracing")
+}
+
+// TestWallclockRealtimeAllowlist feeds the default checker a package full
+// of wall-clock reads under a real-time import path: the allowlist (by
+// omission from the virtual list) must keep it silent.
+func TestWallclockRealtimeAllowlist(t *testing.T) {
+	analysis.RunFixture(t, checkers.DefaultWallclock(), fixture("wallclock_realtime"), "repro/internal/gateway")
+}
+
+func TestGlobalrandFixture(t *testing.T) {
+	analysis.RunFixture(t, checkers.NewGlobalrand(), fixture("globalrand"), "repro/internal/gateway")
+}
+
+func TestMaprangeFixture(t *testing.T) {
+	analysis.RunFixture(t, checkers.NewMaprange(), fixture("maprange"), virtualPath)
+}
+
+func TestLockedescapeFixture(t *testing.T) {
+	analysis.RunFixture(t, checkers.NewLockedescape(), fixture("lockedescape"), "repro/internal/gateway")
+}
+
+func TestPanicpathFixture(t *testing.T) {
+	analysis.RunFixture(t, checkers.DefaultPanicpath(), fixture("panicpath"), "repro/internal/model")
+}
+
+// TestPanicpathExempt loads the same panic pattern under an exempt path
+// (the model zoo): no findings expected.
+func TestPanicpathExempt(t *testing.T) {
+	analysis.RunFixture(t, checkers.DefaultPanicpath(), fixture("panicpath_exempt"), "repro/internal/zoo")
+}
+
+// TestRegistryNames pins the registry: the binary's flags, the suppression
+// directives and DESIGN.md all key off these exact names.
+func TestRegistryNames(t *testing.T) {
+	want := []string{"wallclock", "globalrand", "maprange", "lockedescape", "panicpath"}
+	all := checkers.All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d checkers, want %d", len(all), len(want))
+	}
+	for i, c := range all {
+		if c.Name() != want[i] {
+			t.Errorf("registry[%d] = %q, want %q", i, c.Name(), want[i])
+		}
+		if c.Doc() == "" {
+			t.Errorf("checker %q has no doc line", c.Name())
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package checkers
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDesignDocMatchesRegistry keeps the checker table in DESIGN.md's
+// "Determinism invariants & static enforcement" section in lockstep with
+// the registry: adding a checker without documenting its invariant (or
+// documenting one that does not exist) fails here.
+func TestDesignDocMatchesRegistry(t *testing.T) {
+	raw, err := os.ReadFile("../../../DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const header = "## Determinism invariants & static enforcement"
+	_, rest, found := strings.Cut(string(raw), header)
+	if !found {
+		t.Fatalf("DESIGN.md is missing the %q section", header)
+	}
+	if next := strings.Index(rest, "\n## "); next >= 0 {
+		rest = rest[:next]
+	}
+	rowRE := regexp.MustCompile("(?m)^\\|\\s*`([a-z]+)`\\s*\\|")
+	var documented []string
+	for _, m := range rowRE.FindAllStringSubmatch(rest, -1) {
+		documented = append(documented, m[1])
+	}
+
+	var registered []string
+	for _, c := range All() {
+		registered = append(registered, c.Name())
+	}
+	if strings.Join(documented, ",") != strings.Join(registered, ",") {
+		t.Errorf("DESIGN.md documents %v but the registry holds %v;\nupdate the table in %q or checkers.All to match",
+			documented, registered, header)
+	}
+}

@@ -1,0 +1,60 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// globalrandAllowed are the math/rand package-level constructors that do
+// not touch the runtime-seeded global source. Everything else at package
+// level (Intn, Float64, Perm, Shuffle, Seed, ...) draws from shared global
+// state and breaks fixed-seed reproducibility — randomness must thread an
+// explicit seeded *rand.Rand, as internal/faults and internal/workload do.
+var globalrandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true, // takes an explicit *rand.Rand
+	// math/rand/v2 constructors, should the module ever migrate.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// Globalrand bans package-level math/rand functions everywhere in the
+// module.
+type Globalrand struct{}
+
+// NewGlobalrand returns the checker (it has no configuration: the ban is
+// global by design).
+func NewGlobalrand() *Globalrand { return &Globalrand{} }
+
+// Name implements analysis.Checker.
+func (g *Globalrand) Name() string { return "globalrand" }
+
+// Doc implements analysis.Checker.
+func (g *Globalrand) Doc() string {
+	return "bans package-level math/rand functions; thread a seeded *rand.Rand instead"
+}
+
+// Run implements analysis.Checker.
+func (g *Globalrand) Run(p *analysis.Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, obj, ok := pkgFuncRef(p.Info, sel)
+			if !ok || (pkgPath != "math/rand" && pkgPath != "math/rand/v2") {
+				return true
+			}
+			if _, isFunc := obj.(*types.Func); !isFunc || globalrandAllowed[name] {
+				return true
+			}
+			p.Reportf(g.Name(), sel.Pos(),
+				"package-level rand.%s uses the global unseeded source: thread a seeded *rand.Rand", name)
+			return true
+		})
+	}
+}

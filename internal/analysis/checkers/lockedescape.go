@@ -1,0 +1,129 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Lockedescape flags methods that acquire a sync.Mutex or sync.RWMutex and
+// then return a guarded map, slice or pointer field of the receiver without
+// copying: the caller keeps a reference into state the lock was protecting,
+// so every later read races with the next locked mutation — the PR 1
+// Snapshot bug class, visible only under -race and only when the timing
+// cooperates. Returning a deep copy (or a value type) stays silent.
+type Lockedescape struct{}
+
+// NewLockedescape returns the checker.
+func NewLockedescape() *Lockedescape { return &Lockedescape{} }
+
+// Name implements analysis.Checker.
+func (l *Lockedescape) Name() string { return "lockedescape" }
+
+// Doc implements analysis.Checker.
+func (l *Lockedescape) Doc() string {
+	return "flags mutex-holding methods returning guarded map/slice/pointer fields without copying"
+}
+
+// Run implements analysis.Checker.
+func (l *Lockedescape) Run(p *analysis.Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recv := receiverIdent(p.Info, fd)
+			if recv == nil || !acquiresLock(p.Info, fd.Body, recv) {
+				continue
+			}
+			l.checkReturns(p, fd, recv)
+		}
+	}
+}
+
+// acquiresLock reports whether the body calls Lock or RLock on the receiver
+// or on one of its fields (embedded or named sync mutexes alike).
+func acquiresLock(info *types.Info, body *ast.BlockStmt, recv types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := unparen(sel.X).(type) {
+		case *ast.Ident:
+			if info.Uses[x] == recv {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if isObjUse(info, x.X, recv) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkReturns flags direct returns of guarded reference-typed fields. Only
+// the method's own return statements count: returns inside function
+// literals belong to the literal, not the locked method.
+func (l *Lockedescape) checkReturns(p *analysis.Pass, fd *ast.FuncDecl, recv types.Object) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range v.Results {
+				l.checkResult(p, res, recv)
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// checkResult reports a result expression that hands out a guarded field:
+// a bare receiver-field selector of map, slice or pointer type, or the
+// address of any receiver field.
+func (l *Lockedescape) checkResult(p *analysis.Pass, res ast.Expr, recv types.Object) {
+	switch v := unparen(res).(type) {
+	case *ast.SelectorExpr:
+		if !isObjUse(p.Info, v.X, recv) {
+			return
+		}
+		t := p.Info.TypeOf(v)
+		if t == nil {
+			return
+		}
+		switch t.Underlying().(type) {
+		case *types.Map:
+			p.Reportf(l.Name(), res.Pos(),
+				"returns guarded map field %q while a lock protects it: copy it before returning", v.Sel.Name)
+		case *types.Slice:
+			p.Reportf(l.Name(), res.Pos(),
+				"returns guarded slice field %q while a lock protects it: copy it before returning", v.Sel.Name)
+		case *types.Pointer:
+			p.Reportf(l.Name(), res.Pos(),
+				"returns guarded pointer field %q while a lock protects it: copy the pointee", v.Sel.Name)
+		}
+	case *ast.UnaryExpr:
+		if v.Op.String() != "&" {
+			return
+		}
+		if sel, ok := unparen(v.X).(*ast.SelectorExpr); ok && isObjUse(p.Info, sel.X, recv) {
+			p.Reportf(l.Name(), res.Pos(),
+				"returns address of guarded field %q: the caller escapes the lock", sel.Sel.Name)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package checkers
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// wallclockBanned are the package time functions that read or wait on the
+// real clock. time.Duration arithmetic and constants stay legal everywhere
+// — the simulator's virtual clock is itself a time.Duration.
+var wallclockBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// defaultVirtualPackages are the packages whose logic runs entirely on the
+// simulator's virtual clock: any wall-clock read there desynchronizes
+// replay from simulation and silently breaks fixed-seed reproducibility.
+// Real-time packages (gateway, supervisor, cliutil, experiments) are simply
+// absent from this list; telemetry sites inside virtual packages carry
+// //optimus:allow wallclock directives instead.
+var defaultVirtualPackages = []string{
+	"repro/internal/simulate",
+	"repro/internal/planner",
+	"repro/internal/metaop",
+	"repro/internal/cost",
+	"repro/internal/model",
+	"repro/internal/workload",
+	"repro/internal/balancer",
+}
+
+// Wallclock bans wall-clock reads (time.Now, Since, Sleep, After, timers)
+// inside virtual-time packages.
+type Wallclock struct {
+	// Virtual lists the import paths the ban applies to.
+	Virtual []string
+}
+
+// DefaultWallclock returns the checker bound to the project's virtual-time
+// package list.
+func DefaultWallclock() *Wallclock { return &Wallclock{Virtual: defaultVirtualPackages} }
+
+// NewWallclock returns the checker bound to an explicit package list (used
+// by fixture tests).
+func NewWallclock(virtual []string) *Wallclock { return &Wallclock{Virtual: virtual} }
+
+// Name implements analysis.Checker.
+func (w *Wallclock) Name() string { return "wallclock" }
+
+// Doc implements analysis.Checker.
+func (w *Wallclock) Doc() string {
+	return "bans wall-clock reads (time.Now/Since/Sleep/After/timers) in virtual-time packages"
+}
+
+// Run implements analysis.Checker. Any reference to a banned function is
+// reported, not just calls: passing time.Now as a clock source leaks wall
+// time just as surely as calling it.
+func (w *Wallclock) Run(p *analysis.Pass) {
+	if !hasPkg(w.Virtual, p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, _, ok := pkgFuncRef(p.Info, sel)
+			if ok && pkgPath == "time" && wallclockBanned[name] {
+				p.Reportf(w.Name(), sel.Pos(),
+					"time.%s in virtual-time package %s: use the simulated clock (plumb a time.Duration now)", name, p.Path)
+			}
+			return true
+		})
+	}
+}

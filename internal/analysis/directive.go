@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// DirectiveChecker is the pseudo-checker name under which problems with
+// //optimus:allow directives themselves (malformed or unused) are reported.
+// Directive findings cannot be suppressed — a directive that silences
+// nothing, or cannot be parsed, must be deleted or repaired, not allowed.
+const DirectiveChecker = "directive"
+
+// directivePrefix introduces a suppression comment:
+//
+//	//optimus:allow <checker> — <reason>
+//
+// A trailing directive (sharing its line with code) suppresses findings of
+// <checker> on that line; a standalone directive suppresses findings on the
+// next line. The reason is mandatory: every suppression is a reviewed,
+// documented exception to an invariant.
+const directivePrefix = "//optimus:allow"
+
+// ParseDirective parses a single comment's text. ok reports whether the
+// comment is an //optimus:allow directive at all; err, when ok, reports a
+// malformed one (missing checker, missing separator, missing reason).
+// The separator is an em dash "—" or a double hyphen "--".
+func ParseDirective(text string) (checker, reason string, ok bool, err error) {
+	rest, found := strings.CutPrefix(text, directivePrefix)
+	if !found {
+		return "", "", false, nil
+	}
+	// "//optimus:allowfoo" is some other word, not a directive.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", "", false, nil
+	}
+	rest = strings.TrimSpace(rest)
+	var name, reasonPart string
+	if i := strings.Index(rest, "—"); i >= 0 {
+		name, reasonPart = rest[:i], rest[i+len("—"):]
+	} else if i := strings.Index(rest, "--"); i >= 0 {
+		name, reasonPart = rest[:i], rest[i+2:]
+	} else {
+		return "", "", true, fmt.Errorf("malformed directive: want %q", directivePrefix+" <checker> — <reason>")
+	}
+	name = strings.TrimSpace(name)
+	reason = strings.TrimSpace(reasonPart)
+	switch {
+	case name == "":
+		return "", "", true, fmt.Errorf("malformed directive: missing checker name before the separator")
+	case strings.ContainsAny(name, " \t"):
+		return "", "", true, fmt.Errorf("malformed directive: checker name %q must be a single token", name)
+	case reason == "":
+		return "", "", true, fmt.Errorf("malformed directive: missing reason after the separator")
+	}
+	return name, reason, true, nil
+}
+
+// directive is one parsed suppression with its resolved target line.
+type directive struct {
+	pos     token.Position
+	target  int // line whose findings it suppresses
+	checker string
+	reason  string
+	used    bool
+}
+
+// collectDirectives scans a package's comments for //optimus:allow
+// directives. Malformed directives and directives naming an unknown checker
+// are returned as findings, not directives: a suppression that cannot be
+// matched to a checker must never silently swallow anything.
+func collectDirectives(pkg *Package, known map[string]bool) ([]*directive, []Finding) {
+	var dirs []*directive
+	var findings []Finding
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				name, reason, ok, err := ParseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if err != nil {
+					findings = append(findings, Finding{Checker: DirectiveChecker, Pos: pos, Message: err.Error()})
+					continue
+				}
+				if !known[name] {
+					findings = append(findings, Finding{
+						Checker: DirectiveChecker,
+						Pos:     pos,
+						Message: fmt.Sprintf("directive names unknown checker %q", name),
+					})
+					continue
+				}
+				target := pos.Line
+				if !trailsCode(pkg.Src[pos.Filename], pos.Offset) {
+					target = pos.Line + 1
+				}
+				dirs = append(dirs, &directive{pos: pos, target: target, checker: name, reason: reason})
+			}
+		}
+	}
+	return dirs, findings
+}
+
+// trailsCode reports whether the comment starting at offset shares its line
+// with preceding source text (a trailing comment) rather than standing
+// alone.
+func trailsCode(src []byte, offset int) bool {
+	if offset > len(src) {
+		return false
+	}
+	for i := offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return false
+		case ' ', '\t', '\r':
+			continue
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// applySuppressions drops findings matched by a directive (same file, same
+// checker, finding line equal to the directive's target line), marking each
+// matching directive used. Directive findings themselves are never
+// suppressed.
+func applySuppressions(findings []Finding, dirs []*directive) []Finding {
+	kept := findings[:0]
+	for _, f := range findings {
+		suppressed := false
+		if f.Checker != DirectiveChecker {
+			for _, d := range dirs {
+				if d.checker == f.Checker && d.pos.Filename == f.Pos.Filename && d.target == f.Pos.Line {
+					d.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}
+
+// unusedDirectiveFindings reports every directive that suppressed nothing:
+// dead suppressions hide rot (the violation was fixed, or the directive
+// targets the wrong line) and must be removed.
+func unusedDirectiveFindings(dirs []*directive) []Finding {
+	var out []Finding
+	for _, d := range dirs {
+		if !d.used {
+			out = append(out, Finding{
+				Checker: DirectiveChecker,
+				Pos:     d.pos,
+				Message: fmt.Sprintf("unused directive: no %s finding on %s:%d", d.checker, d.pos.Filename, d.target),
+			})
+		}
+	}
+	return out
+}

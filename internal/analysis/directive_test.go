@@ -1,0 +1,107 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checkers"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		in              string
+		checker, reason string
+		ok, wantErr     bool
+	}{
+		{"//optimus:allow wallclock — telemetry wall-clock read", "wallclock", "telemetry wall-clock read", true, false},
+		{"//optimus:allow globalrand -- seeded at process start", "globalrand", "seeded at process start", true, false},
+		{"//optimus:allow maprange —   spaces trimmed  ", "maprange", "spaces trimmed", true, false},
+		{"// an ordinary comment", "", "", false, false},
+		{"//optimus:allowance granted — not a directive", "", "", false, false},
+		{"//optimus:allow wallclock telemetry", "", "", true, true},     // no separator
+		{"//optimus:allow — reason but no checker", "", "", true, true}, // no checker
+		{"//optimus:allow wallclock —", "", "", true, true},             // no reason
+		{"//optimus:allow two names — reason", "", "", true, true},      // checker not one token
+		{"//optimus:allow", "", "", true, true},                         // bare prefix
+	}
+	for _, c := range cases {
+		checker, reason, ok, err := analysis.ParseDirective(c.in)
+		if ok != c.ok {
+			t.Errorf("ParseDirective(%q): ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseDirective(%q): err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && (checker != c.checker || reason != c.reason) {
+			t.Errorf("ParseDirective(%q) = (%q, %q), want (%q, %q)", c.in, checker, reason, c.checker, c.reason)
+		}
+	}
+}
+
+// TestDirectiveUsedSilencesExactlyOne pins the suppression contract: the
+// fixture holds three identical violations — one with a trailing directive,
+// one with a standalone directive on the preceding line, one bare — and
+// exactly the bare one must survive, with no unused-directive noise.
+func TestDirectiveUsedSilencesExactlyOne(t *testing.T) {
+	findings, err := analysis.CheckFixture(checkers.NewGlobalrand(), fixture("directiveused"), "repro/internal/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly 1 (the unsuppressed violation): %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Checker != "globalrand" || !strings.Contains(f.Message, "rand.Intn") {
+		t.Errorf("surviving finding = %s, want the bare rand.Intn violation", f)
+	}
+}
+
+// TestDirectiveUnusedReported pins unused-directive detection: a directive
+// suppressing nothing is itself a finding.
+func TestDirectiveUnusedReported(t *testing.T) {
+	findings, err := analysis.CheckFixture(checkers.NewGlobalrand(), fixture("directiveunused"), "repro/internal/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Checker != analysis.DirectiveChecker || !strings.Contains(f.Message, "unused directive") {
+		t.Errorf("finding = %s, want an unused-directive report", f)
+	}
+}
+
+// TestDirectiveMalformed pins rejection of unparsable directives: missing
+// separator, missing checker, missing reason, unknown checker — each is an
+// error finding, and none may silently suppress anything.
+func TestDirectiveMalformed(t *testing.T) {
+	findings, err := analysis.CheckFixture(checkers.NewGlobalrand(), fixture("directivemalformed"), "repro/internal/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 4 {
+		t.Fatalf("got %d findings, want 4: %v", len(findings), findings)
+	}
+	wantFrags := []string{"malformed directive", "missing checker name", "missing reason", "unknown checker"}
+	for _, frag := range wantFrags {
+		found := false
+		for _, f := range findings {
+			if f.Checker == analysis.DirectiveChecker && strings.Contains(f.Message, frag) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no directive finding mentioning %q in %v", frag, findings)
+		}
+	}
+}

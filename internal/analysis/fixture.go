@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// TB is the subset of *testing.T the fixture harness needs; taking the
+// interface keeps package testing out of the optimus-lint binary.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// wantRE extracts the quoted message regexps of a // want comment.
+var wantRE = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+// CheckFixture type-checks the fixture package in dir under the import
+// path pkgPath (fixtures import only the standard library) and returns the
+// findings of the checker plus the directive pipeline, sorted. It is the
+// programmatic entry point for tests asserting exact finding sets.
+func CheckFixture(checker Checker, dir, pkgPath string) ([]Finding, error) {
+	findings, _, _, err := runFixture(checker, dir, pkgPath)
+	return findings, err
+}
+
+// RunFixture type-checks the fixture package in dir under the import path
+// pkgPath (fixtures import only the standard library), runs the checker and
+// the directive pipeline over it, and compares the findings against the
+// fixture's // want "regexp" comments: every want must be matched by a
+// finding on its exact file:line, and every finding must be claimed by a
+// want. pkgPath matters to package-scoped checkers (wallclock, panicpath),
+// which decide applicability from the import path.
+func RunFixture(tb TB, checker Checker, dir, pkgPath string) {
+	tb.Helper()
+	findings, fset, files, err := runFixture(checker, dir, pkgPath)
+	if err != nil {
+		tb.Fatalf("fixture %s: %v", dir, err)
+	}
+
+	type want struct {
+		pos token.Position
+		re  *regexp.Regexp
+	}
+	var wants []*want
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				pats, err := splitWantPatterns(m[1])
+				if err != nil {
+					tb.Fatalf("%s: bad want comment: %v", pos, err)
+				}
+				for _, p := range pats {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						tb.Fatalf("%s: bad want regexp %q: %v", pos, p, err)
+					}
+					wants = append(wants, &want{pos: pos, re: re})
+				}
+			}
+		}
+	}
+
+	matched := make([]bool, len(findings))
+	for _, w := range wants {
+		found := false
+		for i, f := range findings {
+			if matched[i] || f.Pos.Filename != w.pos.Filename || f.Pos.Line != w.pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			tb.Errorf("%s: no finding matching %q on this line", w.pos, w.re)
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			tb.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+// runFixture loads and checks a fixture package, returning its findings.
+func runFixture(checker Checker, dir, pkgPath string) ([]Finding, *token.FileSet, []*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fset := token.NewFileSet()
+	pkg := &Package{Path: pkgPath, Dir: dir, Fset: fset, Src: make(map[string][]byte)}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		fname := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(fname)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		f, err := parser.ParseFile(fset, fname, src, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Src[fname] = src
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	pkg.Info = NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg.Types, err = conf.Check(pkgPath, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking: %w", err)
+	}
+	known := map[string]bool{checker.Name(): true}
+	findings := runPackage(pkg, []Checker{checker}, known)
+	sortFindings(findings)
+	return findings, fset, pkg.Files, nil
+}
+
+// splitWantPatterns parses the payload of a want comment: one or more
+// double-quoted (escapes honored) or backquoted regexps.
+func splitWantPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote in %q", s)
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, unq)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("want payload must be quoted regexps, got %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// FuzzDirectiveParse hammers the //optimus:allow parser: it must never
+// panic, never claim success with an empty or multi-token checker name or
+// an empty reason, and never treat a non-directive comment as a directive.
+func FuzzDirectiveParse(f *testing.F) {
+	seeds := []string{
+		"//optimus:allow wallclock — telemetry wall-clock read",
+		"//optimus:allow globalrand -- seeded at process start",
+		"//optimus:allow maprange —",
+		"//optimus:allow — reason without checker",
+		"//optimus:allow two tokens — reason",
+		"//optimus:allow",
+		"//optimus:allow\twallclock\t—\ttabs",
+		"//optimus:allowance granted — not a directive",
+		"// plain comment",
+		"//optimus:allow wallclock — em—dash—inside—reason",
+		"//optimus:allow wallclock -- -- double separator",
+		"//optimus:allow \x00weird — bytes",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		checker, reason, ok, err := analysis.ParseDirective(s)
+		if !ok {
+			if err != nil {
+				t.Fatalf("non-directive %q returned error %v", s, err)
+			}
+			if checker != "" || reason != "" {
+				t.Fatalf("non-directive %q returned content (%q, %q)", s, checker, reason)
+			}
+			return
+		}
+		if !strings.HasPrefix(s, "//optimus:allow") {
+			t.Fatalf("ok for input without directive prefix: %q", s)
+		}
+		if err != nil {
+			if checker != "" || reason != "" {
+				t.Fatalf("malformed %q returned content (%q, %q) alongside error", s, checker, reason)
+			}
+			return
+		}
+		if checker == "" || strings.ContainsAny(checker, " \t") {
+			t.Fatalf("parsed checker %q from %q is not a single token", checker, s)
+		}
+		if reason == "" {
+			t.Fatalf("parsed empty reason from %q without error", s)
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// WriteText renders findings one per line as file:line:col: [checker]
+// message, with file paths relative to root when possible.
+func WriteText(w io.Writer, root string, findings []Finding) error {
+	for _, f := range findings {
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n",
+			relPath(root, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Checker, f.Message); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonFinding is the stable wire form of a finding.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Checker string `json:"checker"`
+	Message string `json:"message"`
+}
+
+// WriteJSON renders findings as a JSON array (empty array, not null, when
+// clean) for archival and tooling.
+func WriteJSON(w io.Writer, root string, findings []Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:    relPath(root, f.Pos.Filename),
+			Line:    f.Pos.Line,
+			Col:     f.Pos.Column,
+			Checker: f.Checker,
+			Message: f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// relPath shortens filename relative to root for stable, portable output.
+func relPath(root, filename string) string {
+	if root == "" {
+		return filename
+	}
+	rel, err := filepath.Rel(root, filename)
+	if err != nil || rel == "" {
+		return filename
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,31 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checkers"
+)
+
+// TestSelfLintSmoke runs the full registry over two real module packages —
+// internal/metrics (pure virtual-time data plumbing) and internal/analysis
+// itself (the linter lints its own framework) — and requires both clean.
+// The CI lint job covers ./... end to end; this keeps a fast in-tree
+// regression signal that the loader resolves module-local and stdlib
+// imports offline.
+func TestSelfLintSmoke(t *testing.T) {
+	root, mod, err := analysis.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run(root, mod, checkers.All(), []string{
+		"./internal/metrics",
+		"./internal/analysis/...",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

@@ -1,0 +1,16 @@
+// Package directivemalformed holds directives the parser must reject: a
+// missing separator, a missing checker name, a missing reason, and an
+// unknown checker name. Each must surface as a directive finding.
+package directivemalformed
+
+//optimus:allow globalrand
+func missingSeparator() {}
+
+//optimus:allow — lonely reason with no checker name
+func missingChecker() {}
+
+//optimus:allow globalrand —
+func missingReason() {}
+
+//optimus:allow nosuchchecker — reason for a checker that does not exist
+func unknownChecker() {}

@@ -1,0 +1,8 @@
+// Package directiveunused holds a directive that suppresses nothing: the
+// directive itself must be reported as unused.
+package directiveunused
+
+//optimus:allow globalrand — fixture: stale suppression, the violation was fixed
+func clean(seed int64) int {
+	return int(seed % 7)
+}

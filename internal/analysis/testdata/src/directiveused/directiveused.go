@@ -1,0 +1,19 @@
+// Package directiveused exercises suppression: one violation carries a
+// trailing directive and must be silenced; an identical violation without a
+// directive must still be reported.
+package directiveused
+
+import "math/rand"
+
+func suppressed() int {
+	return rand.Intn(3) //optimus:allow globalrand — fixture: documented exception
+}
+
+func reported() int {
+	return rand.Intn(5)
+}
+
+func standalone() int {
+	//optimus:allow globalrand — fixture: standalone directive covers the next line
+	return rand.Intn(7)
+}

@@ -1,0 +1,24 @@
+// Package globalrand is the fixture for the globalrand checker: package-
+// level math/rand functions draw from the shared runtime-seeded source and
+// must be reported; threading a seeded *rand.Rand must stay silent.
+package globalrand
+
+import "math/rand"
+
+func bad(xs []int) int {
+	x := rand.Intn(10)                     // want `package-level rand\.Intn`
+	rand.Shuffle(len(xs), func(i, j int) { // want `package-level rand\.Shuffle`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+	return x + int(rand.Int63()) // want `package-level rand\.Int63`
+}
+
+func badFloat() float64 {
+	return rand.Float64() // want `package-level rand\.Float64`
+}
+
+func good(seed int64, xs []int) int {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	return r.Intn(10)
+}

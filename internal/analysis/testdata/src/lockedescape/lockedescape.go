@@ -1,0 +1,80 @@
+// Package lockedescape is the fixture for the lockedescape checker:
+// mutex-holding methods returning guarded reference-typed fields must be
+// reported; deep copies, value results, and lock-free accessors must stay
+// silent.
+package lockedescape
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	items map[string]int
+	order []string
+	meta  *int
+}
+
+func (r *registry) Items() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.items // want `returns guarded map field "items"`
+}
+
+func (r *registry) Order() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.order // want `returns guarded slice field "order"`
+}
+
+func (r *registry) Meta() *int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.meta // want `returns guarded pointer field "meta"`
+}
+
+func (r *registry) OrderAddr() *[]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &r.order // want `returns address of guarded field "order"`
+}
+
+func (r *registry) ItemsCopy() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.items))
+	for k, v := range r.items {
+		out[k] = v
+	}
+	return out
+}
+
+func (r *registry) OrderCopy() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+func (r *registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.order)
+}
+
+// RawItems takes no lock: single-goroutine accessors are out of scope.
+func (r *registry) RawItems() map[string]int { return r.items }
+
+type embedded struct {
+	sync.Mutex
+	vals []int
+}
+
+func (e *embedded) Vals() []int {
+	e.Lock()
+	defer e.Unlock()
+	return e.vals // want `returns guarded slice field "vals"`
+}
+
+func (e *embedded) ValsCopy() []int {
+	e.Lock()
+	defer e.Unlock()
+	return append([]int(nil), e.vals...)
+}

@@ -1,0 +1,85 @@
+// Package maprange is the fixture for the maprange checker: accumulating
+// into a slice, writing records, or emitting output in map-iteration order
+// must be reported unless a deterministic sort of the accumulator follows;
+// order-independent map writes and slice iteration must stay silent.
+package maprange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to "out" inside map iteration`
+	}
+	return out
+}
+
+func goodSortedAppend(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type collector struct{ records []int }
+
+func (c *collector) Add(v int)     { c.records = append(c.records, v) }
+func (c *collector) Observe(v int) { c.records = append(c.records, v) }
+
+func badRecordSink(m map[string]int, c *collector) {
+	for _, v := range m {
+		c.Add(v) // want `Add inside map iteration writes records`
+	}
+}
+
+func badEmit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside map iteration emits`
+	}
+}
+
+func goodSortedSink(m map[string]int, c *collector) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c.Observe(m[k])
+	}
+}
+
+func goodMapWrite(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func goodWaitGroup(m map[string]func()) {
+	var wg sync.WaitGroup
+	for _, f := range m {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	wg.Wait()
+}
+
+func goodSliceAppend(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

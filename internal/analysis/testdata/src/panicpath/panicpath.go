@@ -1,0 +1,35 @@
+// Package panicpath is the fixture for the panicpath checker: loaded under
+// a library import path, naked panics must be reported unless suppressed as
+// documented cross-check oracles; returning errors must stay silent.
+package panicpath
+
+import "fmt"
+
+func bad(x int) int {
+	if x < 0 {
+		panic("negative input") // want `naked panic in library package`
+	}
+	return x
+}
+
+func badWrapped(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("unrecoverable: %v", err)) // want `naked panic in library package`
+	}
+}
+
+func good(x int) (int, error) {
+	if x < 0 {
+		return 0, fmt.Errorf("negative input %d", x)
+	}
+	return x, nil
+}
+
+// oracle shows the sanctioned escape hatch: a cross-check oracle whose
+// suppression directive names the checker and carries a reason.
+func oracle(indexed, scanned int) {
+	if indexed != scanned {
+		//optimus:allow panicpath — cross-check oracle: index and scan disagree
+		panic("oracle: indexed routing diverged from scan baseline")
+	}
+}

@@ -1,0 +1,13 @@
+// Package panicpath_exempt is the corrected-side fixture for the panicpath
+// checker: identical naked panics, loaded under an exempt import path (the
+// model zoo's must-style catalog), must produce no findings.
+package panicpath_exempt
+
+import "fmt"
+
+func mustBuild(name string) string {
+	if name == "" {
+		panic(fmt.Sprintf("catalog: empty model name %q", name))
+	}
+	return name
+}

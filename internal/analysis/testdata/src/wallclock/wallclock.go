@@ -1,0 +1,36 @@
+// Package wallclock is the fixture for the wallclock checker: it is loaded
+// under a virtual-time import path, so every wall-clock read must be
+// reported and Duration arithmetic must stay silent.
+package wallclock
+
+import "time"
+
+// step advances an explicitly plumbed virtual clock: the approved pattern.
+func step(now time.Duration) time.Duration { return now + time.Millisecond }
+
+func bad() time.Duration {
+	t0 := time.Now()             // want `time\.Now in virtual-time package`
+	time.Sleep(time.Millisecond) // want `time\.Sleep in virtual-time package`
+	return time.Since(t0)        // want `time\.Since in virtual-time package`
+}
+
+func badWait(done chan struct{}) bool {
+	timer := time.NewTimer(time.Second) // want `time\.NewTimer in virtual-time package`
+	defer timer.Stop()
+	select {
+	case <-done:
+		return true
+	case <-time.After(time.Millisecond): // want `time\.After in virtual-time package`
+		return false
+	}
+}
+
+// badRef leaks the wall clock as a value, not a call.
+func badRef() func() time.Time {
+	return time.Now // want `time\.Now in virtual-time package`
+}
+
+func good(now time.Duration) time.Duration {
+	deadline := now + 5*time.Millisecond
+	return step(deadline)
+}

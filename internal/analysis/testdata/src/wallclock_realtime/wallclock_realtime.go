@@ -1,0 +1,15 @@
+// Package wallclock_realtime is the corrected-side fixture for the
+// wallclock checker: the identical wall-clock reads, loaded under a
+// real-time (allowlisted) import path, must produce no findings.
+package wallclock_realtime
+
+import "time"
+
+func uptime() func() time.Duration {
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}
+
+func throttle() {
+	time.Sleep(time.Millisecond)
+}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -236,6 +237,10 @@ func (g *Gateway) RegisterModel(m *model.Graph) error {
 		}
 	}
 	g.mu.Unlock()
+	// Sorted so the planning pipeline sees pairs in a fixed order: under an
+	// LRU-bounded plan cache, enqueue order decides eviction order, and map
+	// order here would make cache contents differ run to run.
+	sort.Slice(existing, func(i, j int) bool { return existing[i].Name < existing[j].Name })
 
 	if g.store != nil {
 		// Persist before going live: if the store rejects the model the
@@ -271,6 +276,8 @@ func (g *Gateway) handleModels(w http.ResponseWriter, r *http.Request) {
 			names = append(names, n)
 		}
 		g.mu.Unlock()
+		// Sorted so the same registered set always serializes identically.
+		sort.Strings(names)
 		writeJSON(w, http.StatusOK, map[string]any{"models": names})
 	case http.MethodPost:
 		var m model.Graph

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -606,5 +607,37 @@ func TestGatewayStress(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestModelsListSorted is the regression test for the map-iteration-order
+// leak optimus-lint's maprange checker found in the models listing: the
+// response must come back sorted no matter what order models registered in.
+func TestModelsListSorted(t *testing.T) {
+	g, srv, _ := newTestGateway(t)
+	img := zoo.Imgclsmob()
+	for _, name := range []string{
+		"vgg16-imagenet",
+		"resnet10-cifar10",
+		"bn-vgg13-cifar100",
+		"resnet18-imagenet",
+		"resnet14-cifar100",
+		"vgg11-imagenet",
+	} {
+		if err := g.RegisterModel(img.MustGet(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, body := get(t, srv.URL+"/api/models")
+	raw, _ := body["models"].([]any)
+	if len(raw) != 6 {
+		t.Fatalf("models = %v", body)
+	}
+	names := make([]string, len(raw))
+	for i, v := range raw {
+		names[i], _ = v.(string)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("GET /api/models not sorted: %v", names)
 	}
 }

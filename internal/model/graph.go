@@ -43,6 +43,7 @@ func (g *Graph) AddOp(op Operation) *Operation {
 // programming error in a zoo builder.
 func (g *Graph) Connect(from, to int) {
 	if from < 0 || from >= len(g.ops) || to < 0 || to >= len(g.ops) {
+		//optimus:allow panicpath — construction-time API-misuse guard: a bad ID is a zoo-builder bug, not a runtime error
 		panic(fmt.Sprintf("model: Connect(%d, %d) out of range [0, %d)", from, to, len(g.ops)))
 	}
 	for _, s := range g.succ[from] {

@@ -10,6 +10,7 @@ const bruteForceLimit = 9
 func bruteForce(mx *Matrix) ([]int, float64) {
 	n := mx.Size()
 	if n > bruteForceLimit {
+		//optimus:allow panicpath — guard on the factorial cross-check oracle: callers gate on bruteForceLimit
 		panic("planner: brute force beyond factorial limit")
 	}
 	perm := make([]int, n)

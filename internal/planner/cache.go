@@ -169,9 +169,9 @@ func (c *Cache) GetOrPlan(pl *Planner, src, dst *model.Graph) *metaop.Plan {
 	c.flights[k] = f
 	c.mu.Unlock()
 
-	t0 := time.Now()
+	t0 := time.Now() //optimus:allow wallclock — telemetry: measures real planning cost, never enters simulated time
 	p := pl.Plan(src, dst)
-	took := time.Since(t0)
+	took := time.Since(t0) //optimus:allow wallclock — telemetry: pairs with the time.Now above
 
 	c.mu.Lock()
 	c.insert(k, p)

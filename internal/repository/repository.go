@@ -76,6 +76,9 @@ func OpenWorkers(dir string, pl *planner.Planner, workers int) (*Store, error) {
 		for _, g := range s.models {
 			all = append(all, g)
 		}
+		// Sorted so startup planning order (and thus LRU plan-cache
+		// contents and telemetry) is identical across restarts.
+		sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 		s.pre.PrecomputeAll(all)
 	}
 	return s, nil
@@ -126,6 +129,9 @@ func (s *Store) Put(g *model.Graph) error {
 		}
 	}
 	s.mu.Unlock()
+	// Sorted for the same reason as NewStore: pair-planning order must not
+	// inherit map-iteration randomness.
+	sort.Slice(others, func(i, j int) bool { return others[i].Name < others[j].Name })
 
 	data, err := json.MarshalIndent(g, "", " ")
 	if err != nil {

@@ -578,6 +578,7 @@ func (s *Simulator) routeFor(fr *fnRuntime) *Node {
 	picked := s.routeIndexed(fr)
 	if s.cfg.CrossCheckRouting {
 		if scan := s.route(fr.fn); scan != picked {
+			//optimus:allow panicpath — cross-check oracle: indexed routing diverged from the scan baseline
 			panic(fmt.Sprintf(
 				"simulate: routing divergence for %q at %v: index chose node %d, scan chose node %d",
 				fr.fn.Name, s.clock, picked.ID, scan.ID))
@@ -825,6 +826,7 @@ func (s *Simulator) serve(node *Node, fr *fnRuntime, arrival time.Duration, retr
 	}
 	if s.cfg.VerifyTransforms && d.Plan != nil && d.Reuse != nil {
 		if err := metaop.Verify(s.env.Profile, d.Plan, d.Reuse.Fn.Model, fn.Model); err != nil {
+			//optimus:allow panicpath — cross-check oracle: executed transformation contradicts its plan
 			panic(fmt.Sprintf("simulate: transformation verification failed: %v", err))
 		}
 		s.TransformsVerified++

@@ -297,6 +297,7 @@ func (ix *nodeIndex) startService(c *Container, newOrd int32) {
 		ix.mature[c.idxOrd]--
 		ix.matureTotal--
 	default:
+		//optimus:allow panicpath — cross-check oracle: index bookkeeping diverged from container state
 		panic("simulate: routing index served a container it did not hold idle")
 	}
 	ix.ensure(newOrd)

@@ -3,6 +3,7 @@ package simulate
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -69,7 +70,9 @@ func (o *Online) Snapshot(now time.Duration) []*Node {
 	return out
 }
 
-// Functions returns the registered function names.
+// Functions returns the registered function names, sorted: callers fan the
+// list into reports and API responses, and map-iteration order would leak
+// per-run nondeterminism into them.
 func (o *Online) Functions() []string {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -77,6 +80,7 @@ func (o *Online) Functions() []string {
 	for n := range o.sim.fns {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -1,6 +1,7 @@
 package simulate_test
 
 import (
+	"sort"
 	"testing"
 	"time"
 
@@ -95,5 +96,24 @@ func TestOnlineAddRemoveFunction(t *testing.T) {
 	o.RemoveFunction("vgg16-imagenet")
 	if _, err := o.Invoke("vgg16-imagenet", time.Minute); err == nil {
 		t.Fatal("removed function still invocable")
+	}
+}
+
+// TestFunctionsSorted is the regression test for the map-iteration-order
+// leak optimus-lint's maprange checker found in Online.Functions: the
+// listing feeds reports and API responses, so it must come back in sorted
+// order no matter what order functions were registered in.
+func TestFunctionsSorted(t *testing.T) {
+	o := newOnline(t, 2, "resnet18-imagenet")
+	model := testFunctions(t, "resnet18-imagenet")[0].Model
+	for _, name := range []string{"zulu", "mike", "alpha", "quebec", "echo", "victor", "bravo", "hotel"} {
+		o.AddFunction(&simulate.Function{Name: name, Model: model})
+	}
+	got := o.Functions()
+	if len(got) != 9 {
+		t.Fatalf("Functions() returned %d names, want 9", len(got))
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("Functions() not sorted: %v", got)
 	}
 }

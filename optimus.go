@@ -289,6 +289,7 @@ func (s *System) Register(name string, m *Model) error {
 // MustRegister is Register but panics on error.
 func (s *System) MustRegister(name string, m *Model) {
 	if err := s.Register(name, m); err != nil {
+		//optimus:allow panicpath — Must-style convenience wrapper: panicking on error is its documented contract
 		panic(err)
 	}
 }
