@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt lint test race bench bench-scale microbench benchguard scaleguard fuzz check
+.PHONY: build vet fmt lint test race bench bench-scale bench-soak bench-recovery microbench benchguard scaleguard soakguard recoveryguard fuzz check
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,16 @@ bench:
 bench-scale:
 	$(GO) run ./cmd/optimus-bench scale
 
+# bench-soak runs the chaos-soak experiment (baseline vs resilient under
+# mixed hard/gray faults) and leaves BENCH_soak.json in the repo root.
+bench-soak:
+	$(GO) run ./cmd/optimus-bench soak
+
+# bench-recovery runs the supervised-recovery sweep and leaves
+# BENCH_recovery.json in the repo root.
+bench-recovery:
+	$(GO) run ./cmd/optimus-bench recovery
+
 # microbench runs the Go testing.B microbenchmarks of the root package.
 microbench:
 	$(GO) test -bench=. -benchmem .
@@ -57,6 +67,17 @@ benchguard:
 scaleguard:
 	$(GO) test -run 'TestScale' ./internal/experiments
 
+# soakguard validates the checked-in BENCH_soak.json (byte-identical
+# same-seed reruns, resilient hit ratio ≥ the bounded-retry baseline's) and
+# replays a quick chaos-soak smoke end to end.
+soakguard:
+	$(GO) test -run 'TestSoak' ./internal/experiments
+
+# recoveryguard validates the checked-in BENCH_recovery.json (supervised
+# mean latency and MTTR beat the base configuration at the top fault rate).
+recoveryguard:
+	$(GO) test -run 'TestRecoveryArtifact' ./internal/experiments
+
 # fuzz runs a short native-fuzzing smoke over the plan executor and the
 # lint-directive parser.
 fuzz:
@@ -66,4 +87,4 @@ fuzz:
 # check is the pre-merge gate: formatting, static analysis (go vet plus the
 # project linter), a full build, the test suite under the race detector (the
 # gateway stress test needs it), and the benchmark regression guards.
-check: fmt vet lint build race benchguard scaleguard
+check: fmt vet lint build race benchguard scaleguard soakguard recoveryguard

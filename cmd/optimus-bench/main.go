@@ -52,9 +52,9 @@ func main() {
 		}
 	}()
 	args := flag.Args()
-	sweepRates, err := cliutil.ParseRates(*chaosRt)
+	sweepRates, err := cliutil.ParseChaosRates(*chaosRt)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bad -chaos-rates: %v\n", err)
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if len(args) == 0 {
@@ -63,6 +63,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ablations:   ablation-planner ablation-safeguard ablation-cache ablation-balancer ablation-idle ablation-online ablation-alloc sweep-nodes sweep-load chaos recovery")
 		fmt.Fprintln(os.Stderr, "baselines:   bench (emits BENCH_planner.json + BENCH_sim.json into -out)")
 		fmt.Fprintln(os.Stderr, "             scale (replays one trace serial/indexed/sharded; emits BENCH_sim_scale.json into -out)")
+		fmt.Fprintln(os.Stderr, "             soak (chaos soak, baseline vs resilient; emits BENCH_soak.json into -out)")
+		fmt.Fprintln(os.Stderr, "             recovery also emits BENCH_recovery.json into -out")
 		os.Exit(2)
 	}
 
@@ -166,6 +168,17 @@ func main() {
 			out, result = r.Render(), r
 		case "recovery":
 			r := experiments.Recovery(o, sweepRates, *horizon)
+			if err := r.WriteFile(*outDir); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			out, result = r.Render(), r
+		case "soak":
+			r := experiments.Soak(o, *horizon)
+			if err := r.WriteFile(*outDir); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 			out, result = r.Render(), r
 		case "bench":
 			r := experiments.Bench(o, setup, *planWrk)

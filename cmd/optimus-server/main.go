@@ -24,7 +24,6 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/cost"
-	"repro/internal/faults"
 	"repro/internal/gateway"
 	"repro/internal/policy"
 	"repro/internal/repository"
@@ -45,12 +44,6 @@ func main() {
 		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request handling timeout (0 = none)")
 		maxInfl    = flag.Int("max-inflight", 256, "max concurrent requests before shedding with 503 (0 = unbounded)")
 		drainTime  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
-		faultTrans = flag.Float64("fault-transform", 0, "probability a transformation aborts mid-flight")
-		faultLoad  = flag.Float64("fault-load", 0, "probability a from-scratch model load fails and restarts")
-		faultCrash = flag.Float64("fault-crash", 0, "per-request probability the serving container crashes")
-		faultOut   = flag.Float64("fault-outage", 0, "per-arrival probability the routed node goes down")
-		faultHang  = flag.Float64("fault-hang", 0, "probability a transformation hangs instead of running to plan")
-		faultCkpt  = flag.Float64("fault-checkpoint", 0, "probability a checkpoint write fails (previous snapshot kept)")
 		watchdog   = flag.Float64("watchdog", 0, "cancel transforms at this multiple of their planned cost (≤1 disables)")
 		brkN       = flag.Int("breaker-threshold", 0, "open a pair's circuit breaker after N consecutive transform failures (0 disables)")
 		brkCool    = flag.Duration("breaker-cooldown", 0, "open-breaker wait before a half-open probe (default 5m)")
@@ -60,16 +53,15 @@ func main() {
 		planMax    = flag.Int("plan-cache-max", 0, "max cached transformation plans, LRU-evicted beyond it (0 = unbounded)")
 		seed       = flag.Int64("seed", 1, "fault-injection seed")
 	)
+	ff := cliutil.RegisterFaultFlags(flag.CommandLine, true)
+	rf := cliutil.RegisterResilienceFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := cliutil.ValidateProbs(map[string]float64{
-		"-fault-transform":  *faultTrans,
-		"-fault-load":       *faultLoad,
-		"-fault-crash":      *faultCrash,
-		"-fault-outage":     *faultOut,
-		"-fault-hang":       *faultHang,
-		"-fault-checkpoint": *faultCkpt,
-	}); err != nil {
+	if err := ff.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := rf.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -109,19 +101,15 @@ func main() {
 			Policy:            pol,
 			Seed:              *seed,
 			PlanCacheMax:      *planMax,
-			Faults: faults.Rates{
-				Transform:       *faultTrans,
-				Load:            *faultLoad,
-				Crash:           *faultCrash,
-				Outage:          *faultOut,
-				Hang:            *faultHang,
-				CheckpointWrite: *faultCkpt,
-			},
-			WatchdogFactor: *watchdog,
+			Faults:            ff.Rates(),
+			WatchdogFactor:    *watchdog,
 			Breaker: supervisor.BreakerConfig{
 				Threshold: *brkN,
 				Cooldown:  *brkCool,
 			},
+			Health: rf.HealthConfig(),
+			Retry:  rf.BackoffConfig(),
+			Hedge:  rf.HedgeConfig(),
 		},
 		Repository:     store,
 		RequestTimeout: *reqTimeout,

@@ -43,11 +43,6 @@ func main() {
 		online     = flag.Float64("online-profiling", 0, "EWMA rate for online profile refinement (§6)")
 		profErr    = flag.Float64("profiling-error", 0, "relative error injected into offline profiling")
 		failRate   = flag.Float64("transform-failures", 0, "inject this fraction of failed transformations (alias for -fault-transform)")
-		faultTrans = flag.Float64("fault-transform", 0, "probability a transformation aborts mid-flight (safeguard fallback)")
-		faultLoad  = flag.Float64("fault-load", 0, "probability a from-scratch model load fails and restarts")
-		faultCrash = flag.Float64("fault-crash", 0, "per-request probability the serving container crashes")
-		faultOut   = flag.Float64("fault-outage", 0, "per-arrival probability the routed node goes down")
-		faultHang  = flag.Float64("fault-hang", 0, "probability a transformation hangs instead of running to plan")
 		watchdog   = flag.Float64("watchdog", 0, "cancel transforms at this multiple of their planned cost (≤1 disables)")
 		brkN       = flag.Int("breaker-threshold", 0, "open a pair's circuit breaker after N consecutive transform failures (0 disables)")
 		brkCool    = flag.Duration("breaker-cooldown", 0, "open-breaker wait before a half-open probe (default 5m)")
@@ -64,16 +59,19 @@ func main() {
 		loadTrace  = flag.String("load-trace", "", "replay a workload from this CSV file instead of generating one")
 		azureTrace = flag.String("azure-trace", "", "replay a real Azure Functions invocations CSV (per-minute counts; deploys one function per trace row)")
 	)
+	ff := cliutil.RegisterFaultFlags(flag.CommandLine, false)
+	rf := cliutil.RegisterResilienceFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := cliutil.ValidateProbs(map[string]float64{
-		"-transform-failures": *failRate,
-		"-fault-transform":    *faultTrans,
-		"-fault-load":         *faultLoad,
-		"-fault-crash":        *faultCrash,
-		"-fault-outage":       *faultOut,
-		"-fault-hang":         *faultHang,
-	}); err != nil {
+	if err := cliutil.ValidateProbs(map[string]float64{"-transform-failures": *failRate}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := ff.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := rf.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -82,9 +80,9 @@ func main() {
 		var rates []float64
 		if *chaosRates != "" {
 			var err error
-			rates, err = cliutil.ParseRates(*chaosRates)
+			rates, err = cliutil.ParseChaosRates(*chaosRates)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "bad -chaos-rates: %v\n", err)
+				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
 		}
@@ -104,14 +102,7 @@ func main() {
 	if *gpu {
 		hw = optimus.GPU
 	}
-	rates := optimus.FaultRates{
-		Transform: *faultTrans,
-		Load:      *faultLoad,
-		Crash:     *faultCrash,
-		Outage:    *faultOut,
-		Hang:      *faultHang,
-	}
-	sys := optimus.NewSystem(optimus.SystemConfig{
+	sysCfg := optimus.SystemConfig{
 		Nodes:             *nodes,
 		ContainersPerNode: *slots,
 		Hardware:          hw,
@@ -124,12 +115,16 @@ func main() {
 		OnlineProfiling:   *online,
 		ProfilingError:    *profErr,
 		TransformFailures: *failRate,
-		Faults:            rates,
+		Faults:            ff.Rates(),
 		MaxRetries:        *maxRetries,
 		WatchdogFactor:    *watchdog,
 		BreakerThreshold:  *brkN,
 		BreakerCooldown:   *brkCool,
-	})
+		Health:            rf.HealthConfig(),
+		Retry:             rf.BackoffConfig(),
+		Hedge:             rf.HedgeConfig(),
+	}
+	sys := optimus.NewSystem(sysCfg)
 
 	img, bert := optimus.Imgclsmob(), optimus.BERTZoo()
 	names := append(img.SortedByParams(), bert.SortedByParams()...)
@@ -170,25 +165,7 @@ func main() {
 		// Bind each trace function round-robin to zoo models; the trace
 		// defines demand, the zoo defines structure.
 		zooNames := sys.Functions()
-		fresh := optimus.NewSystem(optimus.SystemConfig{
-			Nodes:             *nodes,
-			ContainersPerNode: *slots,
-			Hardware:          hw,
-			Policy:            optimus.PolicyName(*policyName),
-			UseBalancer:       *balancerOn,
-			VerifyTransforms:  *verify,
-			Seed:              *seed,
-			NodeMemoryMB:      *nodeMB,
-			ContainerMemoryMB: *ctrMB,
-			OnlineProfiling:   *online,
-			ProfilingError:    *profErr,
-			TransformFailures: *failRate,
-			Faults:            rates,
-			MaxRetries:        *maxRetries,
-			WatchdogFactor:    *watchdog,
-			BreakerThreshold:  *brkN,
-			BreakerCooldown:   *brkCool,
-		})
+		fresh := optimus.NewSystem(sysCfg)
 		img2 := optimus.Imgclsmob()
 		for i, fn := range traceFunctions(trace) {
 			base := zooNames[i%len(zooNames)]

@@ -5,6 +5,7 @@
 package cliutil
 
 import (
+	"flag"
 	"fmt"
 	"math"
 	"os"
@@ -13,6 +14,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/health"
+	"repro/internal/supervisor"
 )
 
 // ValidateProbs checks that every named probability is a finite value in
@@ -98,4 +104,148 @@ func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
 		}
 		return nil
 	}, nil
+}
+
+// FaultFlags bundles the fault-injection probability flags the binaries
+// share, so flag registration, validation, and the consolidated error
+// message live in one place instead of three copies.
+type FaultFlags struct {
+	Transform, Load, Crash, Outage, Hang *float64
+	Slow, Flaky, Bandwidth               *float64
+	// Checkpoint is nil unless registered (optimus-server only).
+	Checkpoint *float64
+}
+
+// RegisterFaultFlags installs the shared -fault-* flags on fs. When
+// checkpoint is true the checkpoint-write fault flag (durable-state binaries
+// only) is registered too.
+func RegisterFaultFlags(fs *flag.FlagSet, checkpoint bool) *FaultFlags {
+	f := &FaultFlags{
+		Transform: fs.Float64("fault-transform", 0, "probability a transformation aborts mid-flight (safeguard fallback)"),
+		Load:      fs.Float64("fault-load", 0, "probability a from-scratch model load fails and restarts"),
+		Crash:     fs.Float64("fault-crash", 0, "per-request probability the serving container crashes"),
+		Outage:    fs.Float64("fault-outage", 0, "per-arrival probability the routed node goes down"),
+		Hang:      fs.Float64("fault-hang", 0, "probability a transformation hangs instead of running to plan"),
+		Slow:      fs.Float64("fault-slow", 0, "per-arrival probability the routed node enters a gray slowdown window"),
+		Flaky:     fs.Float64("fault-flaky", 0, "probability a transform donor turns flaky for a window (intermittent aborts)"),
+		Bandwidth: fs.Float64("fault-bandwidth", 0, "probability a node's transform bandwidth degrades for a window"),
+	}
+	if checkpoint {
+		f.Checkpoint = fs.Float64("fault-checkpoint", 0, "probability a checkpoint write fails (previous snapshot kept)")
+	}
+	return f
+}
+
+// Validate checks every registered fault probability, reporting all bad
+// values in one consolidated error (the ValidateProbs contract).
+func (f *FaultFlags) Validate() error {
+	probs := map[string]float64{
+		"-fault-transform": *f.Transform,
+		"-fault-load":      *f.Load,
+		"-fault-crash":     *f.Crash,
+		"-fault-outage":    *f.Outage,
+		"-fault-hang":      *f.Hang,
+		"-fault-slow":      *f.Slow,
+		"-fault-flaky":     *f.Flaky,
+		"-fault-bandwidth": *f.Bandwidth,
+	}
+	if f.Checkpoint != nil {
+		probs["-fault-checkpoint"] = *f.Checkpoint
+	}
+	return ValidateProbs(probs)
+}
+
+// Rates resolves the parsed flags into the injector's rate set.
+func (f *FaultFlags) Rates() faults.Rates {
+	r := faults.Rates{
+		Transform: *f.Transform,
+		Load:      *f.Load,
+		Crash:     *f.Crash,
+		Outage:    *f.Outage,
+		Hang:      *f.Hang,
+		Slow:      *f.Slow,
+		Flaky:     *f.Flaky,
+		Bandwidth: *f.Bandwidth,
+	}
+	if f.Checkpoint != nil {
+		r.CheckpointWrite = *f.Checkpoint
+	}
+	return r
+}
+
+// ResilienceFlags bundles the gray-failure resilience flags (health state
+// machine, retry backoff, hedged transforms) the binaries share.
+type ResilienceFlags struct {
+	Health        *bool
+	HealthObserve *bool
+	Quarantine    *time.Duration
+	Drain         *time.Duration
+	RetryBackoff  *time.Duration
+	HedgePct      *float64
+}
+
+// RegisterResilienceFlags installs the shared resilience flags on fs.
+func RegisterResilienceFlags(fs *flag.FlagSet) *ResilienceFlags {
+	return &ResilienceFlags{
+		Health:        fs.Bool("health", false, "enable the per-node health state machine (suspect → quarantine → drain)"),
+		HealthObserve: fs.Bool("health-observe", false, "track node health but never steer routing (implies -health)"),
+		Quarantine:    fs.Duration("health-quarantine", 0, "quarantine window before a sick node starts draining (default 60s)"),
+		Drain:         fs.Duration("health-drain", 0, "drain timeout before a quarantined node re-enters rotation (default 30s)"),
+		RetryBackoff:  fs.Duration("retry-backoff", 0, "base delay for the seeded exponential crash-retry backoff (0 disables)"),
+		HedgePct:      fs.Float64("hedge-percentile", 0, "hedge hung transforms at this observed-latency percentile (0 disables; e.g. 95)"),
+	}
+}
+
+// Validate checks the resilience flag values, reporting every bad value in
+// one consolidated error like ValidateProbs.
+func (r *ResilienceFlags) Validate() error {
+	var bad []string
+	if p := *r.HedgePct; math.IsNaN(p) || math.IsInf(p, 0) || p < 0 || p > 100 {
+		bad = append(bad, fmt.Sprintf("-hedge-percentile=%v (want [0,100])", p))
+	}
+	for name, d := range map[string]time.Duration{
+		"-health-quarantine": *r.Quarantine,
+		"-health-drain":      *r.Drain,
+		"-retry-backoff":     *r.RetryBackoff,
+	} {
+		if d < 0 {
+			bad = append(bad, fmt.Sprintf("%s=%v (want ≥ 0)", name, d))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	return fmt.Errorf("invalid resilience flags: %s", strings.Join(bad, ", "))
+}
+
+// HealthConfig resolves the health flags; unset durations keep the package
+// defaults.
+func (r *ResilienceFlags) HealthConfig() health.Config {
+	return health.Config{
+		Enabled:            *r.Health || *r.HealthObserve,
+		ObserveOnly:        *r.HealthObserve,
+		QuarantineDuration: *r.Quarantine,
+		DrainTimeout:       *r.Drain,
+	}
+}
+
+// BackoffConfig resolves the retry-backoff flag (zero base disables).
+func (r *ResilienceFlags) BackoffConfig() supervisor.BackoffConfig {
+	return supervisor.BackoffConfig{Base: *r.RetryBackoff}
+}
+
+// HedgeConfig resolves the hedge flag (zero percentile disables).
+func (r *ResilienceFlags) HedgeConfig() supervisor.HedgeConfig {
+	return supervisor.HedgeConfig{Percentile: *r.HedgePct}
+}
+
+// ParseChaosRates parses a -chaos-rates flag value, wrapping errors with the
+// flag name so every binary reports them identically.
+func ParseChaosRates(s string) ([]float64, error) {
+	rates, err := ParseRates(s)
+	if err != nil {
+		return nil, fmt.Errorf("bad -chaos-rates: %w", err)
+	}
+	return rates, nil
 }

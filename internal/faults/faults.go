@@ -41,6 +41,17 @@ const (
 	// full, torn write); the atomic tmp+rename protocol must leave the
 	// previous checkpoint intact.
 	CheckpointWrite
+	// Slow is a gray failure: the routed node enters a degraded window in
+	// which every request it serves runs a configured latency multiplier
+	// slower, without ever failing outright.
+	Slow
+	// Flaky is a gray failure: a donor node enters a window in which
+	// transformations sourced from its containers abort intermittently and
+	// recover through the safeguard path.
+	Flaky
+	// Bandwidth is a gray failure: a node's transform bandwidth degrades for
+	// a window, multiplying the cost of transformations executed on it.
+	Bandwidth
 	eventCount
 )
 
@@ -59,6 +70,12 @@ func (e Event) String() string {
 		return "hang"
 	case CheckpointWrite:
 		return "checkpoint-write"
+	case Slow:
+		return "slow"
+	case Flaky:
+		return "flaky"
+	case Bandwidth:
+		return "bandwidth"
 	default:
 		return fmt.Sprintf("event(%d)", int(e))
 	}
@@ -80,12 +97,22 @@ type Rates struct {
 	Hang float64
 	// CheckpointWrite is the probability a durable-checkpoint write fails.
 	CheckpointWrite float64
+	// Slow is the per-arrival probability the routed node enters a gray
+	// slow-node window (latency multiplier, no hard failure).
+	Slow float64
+	// Flaky is the per-transform probability the donor node enters a flaky
+	// window during which its transformations abort intermittently.
+	Flaky float64
+	// Bandwidth is the per-transform probability the executing node's
+	// transform bandwidth degrades for a window.
+	Bandwidth float64
 }
 
 // Enabled reports whether any rate is nonzero.
 func (r Rates) Enabled() bool {
 	return r.Transform > 0 || r.Load > 0 || r.Crash > 0 || r.Outage > 0 ||
-		r.Hang > 0 || r.CheckpointWrite > 0
+		r.Hang > 0 || r.CheckpointWrite > 0 ||
+		r.Slow > 0 || r.Flaky > 0 || r.Bandwidth > 0
 }
 
 func (r Rates) rate(e Event) float64 {
@@ -102,6 +129,12 @@ func (r Rates) rate(e Event) float64 {
 		return r.Hang
 	case CheckpointWrite:
 		return r.CheckpointWrite
+	case Slow:
+		return r.Slow
+	case Flaky:
+		return r.Flaky
+	case Bandwidth:
+		return r.Bandwidth
 	default:
 		return 0
 	}

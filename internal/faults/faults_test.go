@@ -81,12 +81,24 @@ func TestFireFrequencyTracksRate(t *testing.T) {
 }
 
 func TestEventStrings(t *testing.T) {
-	for e, want := range map[Event]string{Transform: "transform", Load: "load", Crash: "crash", Outage: "outage"} {
+	for e, want := range map[Event]string{Transform: "transform", Load: "load", Crash: "crash", Outage: "outage",
+		Slow: "slow", Flaky: "flaky", Bandwidth: "bandwidth"} {
 		if e.String() != want {
 			t.Errorf("%d.String() = %q, want %q", int(e), e.String(), want)
 		}
 	}
 	if Event(99).String() != "event(99)" {
 		t.Errorf("unknown event string = %q", Event(99).String())
+	}
+}
+
+func TestGrayRatesEnableInjector(t *testing.T) {
+	for _, r := range []Rates{{Slow: 0.1}, {Flaky: 0.1}, {Bandwidth: 0.1}} {
+		if !r.Enabled() {
+			t.Errorf("rates %+v reported disabled", r)
+		}
+		if New(1, r) == nil {
+			t.Errorf("rates %+v yielded a nil injector", r)
+		}
 	}
 }

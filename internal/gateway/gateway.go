@@ -22,12 +22,14 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/health"
 	"repro/internal/metaop"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -497,6 +499,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 			"fallback_fraction":  fr[metrics.StartFallback],
 			"timeout_fraction":   fr[metrics.StartTimeout],
 			"breaker_fraction":   fr[metrics.StartBreaker],
+			"hedge_fraction":     fr[metrics.StartHedge],
 			"faults": map[string]int{
 				"transform_fallbacks":    col.Faults.TransformFallbacks,
 				"load_retries":           col.Faults.LoadRetries,
@@ -507,6 +510,13 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 				"hangs":                  col.Faults.Hangs,
 				"watchdog_cancels":       col.Faults.WatchdogCancels,
 				"breaker_short_circuits": col.Faults.BreakerShortCircuits,
+				"slow_windows":           col.Faults.SlowWindows,
+				"flaky_windows":          col.Faults.FlakyWindows,
+				"flaky_fallbacks":        col.Faults.FlakyFallbacks,
+				"bandwidth_windows":      col.Faults.BandwidthWindows,
+				"hedged_transforms":      col.Faults.HedgedTransforms,
+				"hedge_wins":             col.Faults.HedgeWins,
+				"backoff_retries":        col.Faults.BackoffRetries,
 			},
 		}
 	})
@@ -582,6 +592,27 @@ func (g *Gateway) supervisorStats() map[string]any {
 			"leases_active":    wd.Active(),
 		}
 	}
+	g.online.ReadHealth(func(tr *health.Tracker) {
+		if tr == nil {
+			return
+		}
+		now := g.now()
+		sum := tr.Summarize()
+		nodes := map[string]string{}
+		for _, ns := range tr.Export() {
+			nodes[strconv.Itoa(ns.Node)] = tr.State(ns.Node, now).String()
+		}
+		out["health"] = map[string]any{
+			"episodes":    sum.Episodes,
+			"mttr_ms":     sum.MTTRMS,
+			"suspects":    sum.Suspects,
+			"quarantines": sum.Quarantines,
+			"drains":      sum.Drains,
+			"recoveries":  sum.Recoveries,
+			"clears":      sum.Clears,
+			"nodes":       nodes,
+		}
+	})
 	if g.ckptPath != "" {
 		g.mu.Lock()
 		restoredModels, restoredRecords := g.restoredModels, g.restoredRecords

@@ -36,6 +36,11 @@ const (
 	// skipped entirely and the model loaded from scratch directly (still
 	// saving sandbox/runtime init).
 	StartBreaker
+	// StartHedge repurposed a container whose transformation hung past the
+	// hedge deadline: a backup transform was started from the next-best
+	// donor and won, the hung primary was cancelled as the loser, and the
+	// request paid the deadline window plus the backup transform.
+	StartHedge
 	startKindCount
 )
 
@@ -54,6 +59,8 @@ func (k StartKind) String() string {
 		return "timeout"
 	case StartBreaker:
 		return "breaker"
+	case StartHedge:
+		return "hedge"
 	default:
 		return fmt.Sprintf("startkind(%d)", uint8(k))
 	}
@@ -107,13 +114,30 @@ type FaultStats struct {
 	// (src→dst) pair's circuit breaker was open, routing the request straight
 	// to a from-scratch load (StartBreaker records).
 	BreakerShortCircuits int
+	// SlowWindows counts gray slow-node degradation windows entered (the
+	// node serves every request a latency multiplier slower).
+	SlowWindows int
+	// FlakyWindows counts flaky-donor windows entered.
+	FlakyWindows int
+	// FlakyFallbacks counts transformations aborted because their donor node
+	// was inside a flaky window.
+	FlakyFallbacks int
+	// BandwidthWindows counts degraded transform-bandwidth windows entered.
+	BandwidthWindows int
+	// HedgedTransforms counts hung transformations for which a backup
+	// transform was started from the next-best donor at the hedge deadline.
+	HedgedTransforms int
+	// HedgeWins counts hedged backups that beat the primary's own recovery
+	// path (StartHedge records).
+	HedgeWins int
+	// BackoffRetries counts re-dispatches delayed by the deterministic
+	// retry backoff instead of retrying immediately.
+	BackoffRetries int
 }
 
 // Any reports whether any fault was recorded.
 func (f FaultStats) Any() bool {
-	return f.TransformFallbacks > 0 || f.LoadRetries > 0 || f.Crashes > 0 ||
-		f.Outages > 0 || f.Retries > 0 || f.Dropped > 0 ||
-		f.Hangs > 0 || f.WatchdogCancels > 0 || f.BreakerShortCircuits > 0
+	return f != FaultStats{}
 }
 
 // Collector accumulates request records. It maintains running aggregates

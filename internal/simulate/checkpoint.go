@@ -35,6 +35,7 @@ func (o *Online) ExportState() supervisor.ClusterState {
 		}
 		st.Nodes = append(st.Nodes, ns)
 	}
+	st.Health = s.health.Export()
 	return st
 }
 
@@ -88,6 +89,10 @@ func (o *Online) ImportState(st supervisor.ClusterState) []string {
 			})
 		}
 	}
+	// Reconcile health state rather than resetting it: a node checkpointed
+	// as quarantined or draining restores that way — never resurrected as
+	// healthy — and its time-driven exits run from the restored instants.
+	s.health.Import(st.Health, s.clock)
 	out := make([]string, 0, len(quarantined))
 	for f := range quarantined {
 		out = append(out, f)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/faults"
+	"repro/internal/health"
 	"repro/internal/metaop"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -90,6 +91,32 @@ type Config struct {
 	// Breaker configures the per-(src→dst)-pair transform circuit breaker;
 	// the zero value (Threshold 0) disables it.
 	Breaker supervisor.BreakerConfig
+	// SlowFactor multiplies service time on a node inside an injected gray
+	// slow window (default 4); SlowDuration is the window length
+	// (default 60 s).
+	SlowFactor   float64
+	SlowDuration time.Duration
+	// FlakyDuration is the flaky-donor window length (default 60 s): while
+	// it lasts, transformations sourced on the node abort and recover
+	// through the safeguard fallback.
+	FlakyDuration time.Duration
+	// BandwidthFactor multiplies transform cost on a node inside a degraded
+	// transform-bandwidth window (default 3); BandwidthDuration is the
+	// window length (default 60 s).
+	BandwidthFactor   float64
+	BandwidthDuration time.Duration
+	// Health configures the per-node gray-failure health state machine
+	// (package health): routing and donor selection skip quarantined and
+	// draining nodes. The zero value disables tracking.
+	Health health.Config
+	// Retry configures seeded exponential backoff + jitter for crash and
+	// outage re-dispatch; a zero Base keeps the immediate bounded retries.
+	Retry supervisor.BackoffConfig
+	// Hedge configures hedged transform starts: a transform hanging past
+	// the configured percentile of observed transform durations gets a
+	// backup started from the next-best donor, and the loser is cancelled.
+	// A zero Percentile disables hedging.
+	Hedge supervisor.HedgeConfig
 	// RouteScan forces the legacy O(nodes×containers) scanning router for
 	// trace replay instead of the incrementally-maintained routing index —
 	// the "current engine" baseline for the scale benchmark.
@@ -143,6 +170,21 @@ func (c Config) withDefaults() Config {
 	if c.HangFactor <= 1 {
 		c.HangFactor = 10
 	}
+	if c.SlowFactor <= 1 {
+		c.SlowFactor = 4
+	}
+	if c.SlowDuration <= 0 {
+		c.SlowDuration = 60 * time.Second
+	}
+	if c.FlakyDuration <= 0 {
+		c.FlakyDuration = 60 * time.Second
+	}
+	if c.BandwidthFactor <= 1 {
+		c.BandwidthFactor = 3
+	}
+	if c.BandwidthDuration <= 0 {
+		c.BandwidthDuration = 60 * time.Second
+	}
 	return c
 }
 
@@ -179,6 +221,9 @@ type Simulator struct {
 
 	watchdog *supervisor.Watchdog
 	breaker  *supervisor.Breaker
+	health   *health.Tracker
+	backoff  *supervisor.Backoff
+	hedger   *supervisor.Hedger
 }
 
 // fnRuntime is the per-function hot-path state: the resolved candidate node
@@ -237,6 +282,9 @@ func New(cfg Config, fns []*Function) *Simulator {
 	s.inj = faults.New(cfg.Seed^0x5f3759df, cfg.Faults)
 	s.watchdog = supervisor.NewWatchdog(supervisor.WatchdogConfig{Factor: cfg.WatchdogFactor})
 	s.breaker = supervisor.NewBreaker(cfg.Breaker)
+	s.health = health.New(cfg.Health, cfg.Nodes)
+	s.backoff = supervisor.NewBackoff(cfg.Retry, cfg.Seed^0x3ade68b1)
+	s.hedger = supervisor.NewHedger(cfg.Hedge)
 	s.env.MeanInterArrival = func(fn string) (time.Duration, bool) {
 		if r, ok := s.fnRt[fn]; ok && r.hasGap {
 			return r.meanGap, true
@@ -509,7 +557,19 @@ func (s *Simulator) arrive(fr *fnRuntime, arrival time.Duration) {
 	if s.inj.Fire(faults.Outage) {
 		s.failNode(s.routeFor(fr))
 	}
+	if s.inj.Fire(faults.Slow) {
+		s.slowNode(s.routeFor(fr))
+	}
 	s.dispatch(fr, arrival, 0)
+}
+
+// slowNode opens (or extends) a gray slow window on the node: it keeps
+// serving, but SlowFactor× slower, until the window closes.
+func (s *Simulator) slowNode(n *Node) {
+	if !n.Slow(s.clock) {
+		s.collector.Faults.SlowWindows++
+	}
+	n.SlowUntil = s.clock + s.cfg.SlowDuration
 }
 
 // dispatch routes a (possibly retried) request. When every candidate node is
@@ -544,6 +604,7 @@ func (s *Simulator) failNode(n *Node) {
 	if n.idx != nil {
 		n.idx.reset()
 	}
+	s.health.ObserveFailure(n.ID, s.clock)
 	for _, c := range lost {
 		c.dead = true
 		c.idxState = idxNone
@@ -559,14 +620,32 @@ func (s *Simulator) failNode(n *Node) {
 }
 
 // retryOrDrop re-dispatches a request whose container was lost, or drops it
-// once the retry budget is exhausted.
+// once the retry budget is exhausted. With a retry backoff configured the
+// re-dispatch is delayed by the seeded exponential backoff instead of firing
+// immediately.
 func (s *Simulator) retryOrDrop(in inflight) {
 	if in.retries >= s.cfg.MaxRetries {
 		s.collector.Faults.Dropped++
 		return
 	}
 	s.collector.Faults.Retries++
+	if d := s.backoff.Delay(in.retries); d > 0 {
+		s.collector.Faults.BackoffRetries++
+		s.schedule(event{at: s.clock + d, kind: evDispatch, fr: in.fr, arrival: in.arrival, retries: in.retries + 1})
+		return
+	}
 	s.dispatch(in.fr, in.arrival, in.retries+1)
+}
+
+// unroutable reports whether routing should skip the node at now: down from
+// an injected outage, or avoided by the health tracker (quarantined or
+// draining). Both routers and candidates() apply it identically, so the
+// CrossCheckRouting oracle stays exact with health-aware routing on.
+func (s *Simulator) unroutable(n *Node, now time.Duration) bool {
+	if n.Down(now) {
+		return true
+	}
+	return s.health != nil && s.health.Avoid(n.ID, now)
 }
 
 // routeFor routes through the index when enabled, falling back to (or
@@ -636,7 +715,7 @@ func (s *Simulator) routeIndexed(fr *fnRuntime) *Node {
 	cands := fr.cands
 	up := 0
 	for _, n := range cands {
-		if !n.Down(now) {
+		if !s.unroutable(n, now) {
 			up++
 		}
 	}
@@ -667,7 +746,7 @@ func (s *Simulator) routeIndexed(fr *fnRuntime) *Node {
 	bestScore := -1 << 30
 	i := 0
 	for _, n := range cands {
-		if !all && n.Down(now) {
+		if !all && s.unroutable(n, now) {
 			continue
 		}
 		ix := n.idx
@@ -717,15 +796,16 @@ func (s *Simulator) candidates(fn *Function) []*Node {
 			base = out
 		}
 	}
-	// Route around failed nodes; when the whole candidate set is down the
-	// caller waits for the earliest recovery.
+	// Route around failed and health-avoided nodes; when the whole candidate
+	// set is unroutable the caller proceeds against the full set (and waits
+	// for recovery only if everything is actually down).
 	up := base
 	for i, n := range base {
-		if n.Down(s.clock) {
+		if s.unroutable(n, s.clock) {
 			up = make([]*Node, 0, len(base))
 			up = append(up, base[:i]...)
 			for _, m := range base[i+1:] {
-				if !m.Down(s.clock) {
+				if !s.unroutable(m, s.clock) {
 					up = append(up, m)
 				}
 			}
@@ -755,11 +835,13 @@ func transformPair(d Decision, fn *Function) (src, dst string) {
 
 // superviseDecision applies the supervision layer and fault injection to a
 // policy decision: the circuit breaker may short-circuit a transform to a
-// from-scratch load, injected aborts take the safeguard fallback, injected
-// hangs are either cancelled by the watchdog at their deadline or run
-// undetected for HangFactor× the plan, and from-scratch loads may fail and
-// restart. Returns the (possibly degraded) decision.
-func (s *Simulator) superviseDecision(d Decision, fn *Function, now time.Duration) Decision {
+// from-scratch load, gray flaky/bandwidth windows degrade transforms on the
+// serving node, injected aborts take the safeguard fallback, injected hangs
+// are recovered by a hedged backup from the next-best donor, cancelled by the
+// watchdog at their deadline, or run undetected for HangFactor× the plan, and
+// from-scratch loads may fail and restart. Returns the (possibly degraded)
+// decision.
+func (s *Simulator) superviseDecision(d Decision, fn *Function, node *Node, now time.Duration) Decision {
 	if d.Kind == metrics.StartTransform && d.Reuse != nil {
 		src, dst := transformPair(d, fn)
 		if !s.breaker.Allow(src, dst, now) {
@@ -770,7 +852,33 @@ func (s *Simulator) superviseDecision(d Decision, fn *Function, now time.Duratio
 			d.Plan = nil
 			s.collector.Faults.BreakerShortCircuits++
 		} else {
+			if s.inj.Fire(faults.Flaky) {
+				if !node.Flaky(now) {
+					s.collector.Faults.FlakyWindows++
+				}
+				node.FlakyUntil = now + s.cfg.FlakyDuration
+			}
+			if s.inj.Fire(faults.Bandwidth) {
+				if !node.DegradedBandwidth(now) {
+					s.collector.Faults.BandwidthWindows++
+				}
+				node.BandwidthUntil = now + s.cfg.BandwidthDuration
+			}
+			if node.DegradedBandwidth(now) {
+				// Degraded transform bandwidth inflates the transform cost
+				// before any abort or hang accounting charges it.
+				d.Load = time.Duration(float64(d.Load) * s.cfg.BandwidthFactor)
+			}
 			switch {
+			case node.Flaky(now):
+				// The donor node is inside a flaky window: the transform
+				// aborts and recovers through the safeguard path, and the
+				// health tracker sees the node fail.
+				d.Load = d.Load/2 + s.env.Profile.ModelLoad(fn.Model).Total()
+				d.Kind = metrics.StartFallback
+				s.collector.Faults.FlakyFallbacks++
+				s.breaker.RecordFailure(src, dst, now)
+				s.health.ObserveFailure(node.ID, now)
 			case s.inj.Fire(faults.Transform):
 				// The transformation aborts halfway through and the container
 				// recovers by discarding the partial state and loading the
@@ -781,25 +889,10 @@ func (s *Simulator) superviseDecision(d Decision, fn *Function, now time.Duratio
 				s.collector.Faults.TransformFallbacks++
 				s.breaker.RecordFailure(src, dst, now)
 			case s.inj.Fire(faults.Hang):
-				s.collector.Faults.Hangs++
-				planned := d.Load
-				if s.watchdog != nil {
-					// The watchdog cancels the hung transform at its deadline
-					// and the safeguard loads from scratch: the request pays
-					// the full deadline window plus the fresh load.
-					d.Load = s.watchdog.Deadline(planned) + s.env.Profile.ModelLoad(fn.Model).Total()
-					d.Kind = metrics.StartTimeout
-					s.watchdog.RecordCancel()
-					s.collector.Faults.WatchdogCancels++
-					s.breaker.RecordFailure(src, dst, now)
-				} else {
-					// Undetected: the transform stalls for HangFactor× the
-					// plan before eventually finishing on its own.
-					d.Load = time.Duration(float64(planned) * s.cfg.HangFactor)
-					s.breaker.RecordSuccess(src, dst)
-				}
+				d = s.superviseHang(d, fn, node, src, dst, now)
 			default:
 				s.breaker.RecordSuccess(src, dst)
+				s.hedger.Observe(d.Load)
 			}
 		}
 	}
@@ -811,6 +904,74 @@ func (s *Simulator) superviseDecision(d Decision, fn *Function, now time.Duratio
 		s.collector.Faults.LoadRetries++
 	}
 	return d
+}
+
+// superviseHang resolves an injected transform hang: a hedged backup from the
+// next-best donor wins if it beats the primary's own recovery path, otherwise
+// the watchdog cancels the hung transform at its deadline, or — with neither
+// configured — the transform stalls undetected for HangFactor× the plan.
+func (s *Simulator) superviseHang(d Decision, fn *Function, node *Node, src, dst string, now time.Duration) Decision {
+	s.collector.Faults.Hangs++
+	planned := d.Load
+	fresh := s.env.Profile.ModelLoad(fn.Model).Total()
+	if hd, ok := s.hedgeDeadline(node, fn, now); ok {
+		// A backup transform starts from the next-best donor at the hedge
+		// deadline; whichever recovery finishes first wins, and the loser is
+		// cancelled.
+		hedged := hd + planned
+		var unhedged time.Duration
+		if s.watchdog != nil {
+			unhedged = s.watchdog.Deadline(planned) + fresh
+		} else {
+			unhedged = time.Duration(float64(planned) * s.cfg.HangFactor)
+		}
+		win := hedged < unhedged
+		s.hedger.RecordHedge(win)
+		s.collector.Faults.HedgedTransforms++
+		if win {
+			d.Load = hedged
+			d.Kind = metrics.StartHedge
+			s.collector.Faults.HedgeWins++
+			s.breaker.RecordFailure(src, dst, now)
+			s.health.ObserveFailure(node.ID, now)
+			return d
+		}
+	}
+	if s.watchdog != nil {
+		// The watchdog cancels the hung transform at its deadline and the
+		// safeguard loads from scratch: the request pays the full deadline
+		// window plus the fresh load.
+		d.Load = s.watchdog.Deadline(planned) + fresh
+		d.Kind = metrics.StartTimeout
+		s.watchdog.RecordCancel()
+		s.collector.Faults.WatchdogCancels++
+		s.breaker.RecordFailure(src, dst, now)
+		s.health.ObserveFailure(node.ID, now)
+	} else {
+		// Undetected: the transform stalls for HangFactor× the plan before
+		// eventually finishing on its own.
+		d.Load = time.Duration(float64(planned) * s.cfg.HangFactor)
+		s.breaker.RecordSuccess(src, dst)
+		s.health.ObserveFailure(node.ID, now)
+	}
+	return d
+}
+
+// hedgeDeadline arms a hedge for a hung transform: the hedger needs enough
+// observed transform durations, and the node a second repurposable donor for
+// the backup to start from.
+func (s *Simulator) hedgeDeadline(node *Node, fn *Function, now time.Duration) (time.Duration, bool) {
+	if s.hedger == nil {
+		return 0, false
+	}
+	hd, ok := s.hedger.Deadline()
+	if !ok {
+		return 0, false
+	}
+	if len(node.RepurposeCandidates(s.env, fn, now)) < 2 {
+		return 0, false
+	}
+	return hd, true
 }
 
 // serve asks the policy for a decision and, if possible, executes it:
@@ -834,7 +995,7 @@ func (s *Simulator) serve(node *Node, fr *fnRuntime, arrival time.Duration, retr
 	if s.cfg.OnlineProfiling > 0 && d.Plan != nil && d.Reuse != nil && !d.Plan.LoadFromScratch {
 		s.observeExecution(d.Plan, d.Reuse.Fn.Model)
 	}
-	d = s.superviseDecision(d, fn, now)
+	d = s.superviseDecision(d, fn, node, now)
 
 	c := d.Reuse
 	if c == nil {
@@ -846,6 +1007,14 @@ func (s *Simulator) serve(node *Node, fr *fnRuntime, arrival time.Duration, retr
 	}
 	c.Fn = fn
 	compute := s.computeFor(fr)
+	if node.Slow(now) {
+		// A gray-slow node serves everything SlowFactor× slower; each
+		// breakdown component inflates alike so records stay additive.
+		f := s.cfg.SlowFactor
+		d.Init = time.Duration(float64(d.Init) * f)
+		d.Load = time.Duration(float64(d.Load) * f)
+		compute = time.Duration(float64(compute) * f)
+	}
 	service := d.Init + d.Load + compute
 	if s.inj.Fire(faults.Crash) {
 		// The container dies halfway through serving: it is lost at the
@@ -857,9 +1026,11 @@ func (s *Simulator) serve(node *Node, fr *fnRuntime, arrival time.Duration, retr
 		node.noteStartService(c, fr.ord)
 		s.watchdog.Lease(c.ID, crashAt)
 		s.collector.Faults.Crashes++
+		s.health.ObserveFailure(node.ID, now)
 		s.schedule(event{at: crashAt, kind: evCrash, node: node, c: c})
 		return true
 	}
+	s.health.ObserveServed(node.ID, now, service)
 	end := now + service
 	c.BusyUntil = end
 	c.serving, c.hasServing = inflight{fr: fr, arrival: arrival, retries: retries}, true
@@ -910,7 +1081,19 @@ func (s *Simulator) complete(node *Node, c *Container) {
 	c.hasServing = false
 	node.noteComplete(c, s.clock)
 	s.watchdog.Complete(c.ID)
+	if s.health != nil && s.nodeDrained(node, s.clock) {
+		s.health.NoteDrained(node.ID, s.clock)
+	}
 	s.drainQueue(node)
+}
+
+// nodeDrained reports that the node has no busy containers left — the signal
+// a draining node's health state waits for.
+func (s *Simulator) nodeDrained(n *Node, now time.Duration) bool {
+	if n.idx != nil {
+		return n.idx.busy == 0
+	}
+	return s.busyCount(n, now) == 0
 }
 
 // drainQueue serves as many queued requests as the node can now take.
@@ -965,6 +1148,9 @@ func (s *Simulator) Estimator() *cost.Estimator { return s.est }
 
 // Breaker exposes the transform circuit breaker (nil when disabled).
 func (s *Simulator) Breaker() *supervisor.Breaker { return s.breaker }
+
+// Health exposes the per-node health tracker (nil when disabled).
+func (s *Simulator) Health() *health.Tracker { return s.health }
 
 // Watchdog exposes the supervision watchdog (nil when disabled).
 func (s *Simulator) Watchdog() *supervisor.Watchdog { return s.watchdog }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/health"
 	"repro/internal/metrics"
 	"repro/internal/supervisor"
 )
@@ -132,6 +133,9 @@ func (o *Online) Invoke(name string, now time.Duration) (metrics.Record, error) 
 	if s.inj.Fire(faults.Outage) {
 		s.outageOnline(s.route(fn), now)
 	}
+	if s.inj.Fire(faults.Slow) {
+		s.slowNode(s.route(fn))
+	}
 	node := s.route(fn)
 
 	start := now
@@ -149,7 +153,7 @@ func (o *Online) Invoke(name string, now time.Duration) (metrics.Record, error) 
 		node.EvictExpired(start, s.env.KeepAlive)
 		d, ok := s.cfg.Policy.Serve(s.env, node, fn, start)
 		if ok {
-			d = s.superviseDecision(d, fn, start)
+			d = s.superviseDecision(d, fn, node, start)
 			c := d.Reuse
 			if c == nil {
 				c = node.newContainer(fn, s.env.GrantFor(fn), start)
@@ -158,6 +162,14 @@ func (o *Online) Invoke(name string, now time.Duration) (metrics.Record, error) 
 			}
 			c.Fn = fn
 			compute := s.computeFor(fr)
+			if node.Slow(start) {
+				// Inside a gray slow window every component inflates alike,
+				// mirroring the trace engine.
+				f := s.cfg.SlowFactor
+				d.Init = time.Duration(float64(d.Init) * f)
+				d.Load = time.Duration(float64(d.Load) * f)
+				compute = time.Duration(float64(compute) * f)
+			}
 			service := d.Init + d.Load + compute
 			if s.inj.Fire(faults.Crash) {
 				// The container dies mid-request; retry from the crash
@@ -166,16 +178,24 @@ func (o *Online) Invoke(name string, now time.Duration) (metrics.Record, error) 
 				c.dead = true
 				node.Remove(c)
 				s.collector.Faults.Crashes++
+				s.health.ObserveFailure(node.ID, start)
 				if retries >= s.cfg.MaxRetries {
 					s.collector.Faults.Dropped++
 					return metrics.Record{}, fmt.Errorf("simulate: %q failed %d attempts: %w", name, retries+1, ErrRequestDropped)
 				}
 				s.collector.Faults.Retries++
+				if delay := s.backoff.Delay(retries); delay > 0 {
+					// The deterministic retry backoff holds the re-dispatch
+					// instead of hammering the next node immediately.
+					s.collector.Faults.BackoffRetries++
+					start += delay
+				}
 				retries++
 				start += service / 2
 				node = s.route(fn)
 				continue
 			}
+			s.health.ObserveServed(node.ID, start, service)
 			end := start + service
 			c.BusyUntil = end
 			c.LastDone = end
@@ -220,6 +240,7 @@ func (s *Simulator) outageOnline(n *Node, now time.Duration) {
 	}
 	n.Containers = nil
 	s.collector.Faults.Outages++
+	s.health.ObserveFailure(n.ID, now)
 }
 
 // Breaker exposes the transform circuit breaker (nil when disabled).
@@ -227,3 +248,16 @@ func (o *Online) Breaker() *supervisor.Breaker { return o.sim.breaker }
 
 // Watchdog exposes the supervision watchdog (nil when disabled).
 func (o *Online) Watchdog() *supervisor.Watchdog { return o.sim.watchdog }
+
+// Health exposes the per-node health tracker (nil when disabled). Callers
+// racing with Invoke must use ReadHealth instead.
+func (o *Online) Health() *health.Tracker { return o.sim.health }
+
+// ReadHealth runs f with the health tracker (possibly nil) under the server
+// lock, so state reads are consistent with concurrent Invoke calls. f must
+// not retain the tracker.
+func (o *Online) ReadHealth(f func(*health.Tracker)) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	f(o.sim.health)
+}

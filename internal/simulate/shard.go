@@ -66,6 +66,9 @@ func planShards(cfg Config, tr *workload.Trace) ([]shardPlan, string) {
 	if cfg.OnlineProfiling > 0 {
 		return nil, "online profiling couples the cost estimator across all requests"
 	}
+	if cfg.Health.Enabled {
+		return nil, "health tracking couples the cluster latency baseline across all nodes"
+	}
 	if len(cfg.Placement) == 0 {
 		return nil, "no placement: every function routes across all nodes"
 	}

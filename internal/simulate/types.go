@@ -93,6 +93,12 @@ type Node struct {
 	// DownUntil, when in the future, marks the node as failed by an
 	// injected outage: routing skips it until it recovers.
 	DownUntil time.Duration
+	// SlowUntil, FlakyUntil and BandwidthUntil mark gray-failure windows:
+	// the node keeps serving, but slower (latency multiplier), with flaky
+	// transform donors, or with degraded transform bandwidth.
+	SlowUntil      time.Duration
+	FlakyUntil     time.Duration
+	BandwidthUntil time.Duration
 
 	queue  []queued
 	nextID int
@@ -103,6 +109,16 @@ type Node struct {
 
 // Down reports whether the node is out due to an injected outage.
 func (n *Node) Down(now time.Duration) bool { return n.DownUntil > now }
+
+// Slow reports whether the node is inside a gray slow-node window.
+func (n *Node) Slow(now time.Duration) bool { return n.SlowUntil > now }
+
+// Flaky reports whether the node is inside a flaky-donor window.
+func (n *Node) Flaky(now time.Duration) bool { return n.FlakyUntil > now }
+
+// DegradedBandwidth reports whether the node's transform bandwidth is
+// degraded.
+func (n *Node) DegradedBandwidth(now time.Duration) bool { return n.BandwidthUntil > now }
 
 // UsedMB sums the memory grants of resident containers.
 func (n *Node) UsedMB() int {

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/faults"
+	"repro/internal/health"
 	"repro/internal/metrics"
 )
 
@@ -38,6 +39,10 @@ type ClusterState struct {
 	// ClockNS is the virtual clock at snapshot time, in nanoseconds.
 	ClockNS int64       `json:"clock_ns"`
 	Nodes   []NodeState `json:"nodes"`
+	// Health snapshots the per-node health state machine, when tracking is
+	// enabled. Additive and omitted when absent, so version-1 checkpoints
+	// from builds without health tracking restore as all-healthy.
+	Health []health.NodeSnapshot `json:"health,omitempty"`
 }
 
 // NodeState snapshots one worker node.

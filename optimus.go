@@ -8,6 +8,7 @@ import (
 	"repro/internal/balancer"
 	"repro/internal/cost"
 	"repro/internal/faults"
+	"repro/internal/health"
 	"repro/internal/metaop"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -40,6 +41,21 @@ type FaultRates = faults.Rates
 
 // FaultStats tallies injected failures and their recoveries over a run.
 type FaultStats = metrics.FaultStats
+
+// HealthConfig parameterizes the per-node health state machine (gray-failure
+// detection, quarantine, and drain; see DESIGN.md). The zero value disables
+// tracking.
+type HealthConfig = health.Config
+
+// HealthSummary aggregates a run's health episodes, MTTR, and transition
+// counters.
+type HealthSummary = health.Summary
+
+// BackoffConfig parameterizes the deterministic seeded crash-retry backoff.
+type BackoffConfig = supervisor.BackoffConfig
+
+// HedgeConfig parameterizes hedged backup transforms for hung primaries.
+type HedgeConfig = supervisor.HedgeConfig
 
 // Hardware selects the latency profile.
 type Hardware int
@@ -251,6 +267,15 @@ type SystemConfig struct {
 	// BreakerCooldown is the open-breaker wait before a half-open probe
 	// (default 5 min).
 	BreakerCooldown time.Duration
+	// Health configures the per-node health state machine (suspect →
+	// quarantine → drain → recover); the zero value disables tracking.
+	Health HealthConfig
+	// Retry configures the seeded exponential crash-retry backoff; a zero
+	// Base disables delays (retries stay immediate).
+	Retry BackoffConfig
+	// Hedge configures hedged backup transforms for hung primaries; a zero
+	// Percentile disables hedging.
+	Hedge HedgeConfig
 }
 
 // System is a serverless ML inference cluster: functions bound to models,
@@ -344,6 +369,9 @@ func (s *System) simConfig(trace *Trace) (simulate.Config, error) {
 			Threshold: s.cfg.BreakerThreshold,
 			Cooldown:  s.cfg.BreakerCooldown,
 		},
+		Health: s.cfg.Health,
+		Retry:  s.cfg.Retry,
+		Hedge:  s.cfg.Hedge,
 	}, nil
 }
 
@@ -358,7 +386,12 @@ func (s *System) Run(trace *Trace) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Report{Collector: col, Policy: string(s.cfg.Policy), Verified: sim.TransformsVerified}, nil
+	return &Report{
+		Collector: col,
+		Policy:    string(s.cfg.Policy),
+		Verified:  sim.TransformsVerified,
+		Health:    sim.Health().Summarize(),
+	}, nil
 }
 
 // RunSharded replays the trace like Run but splits it across the placement's
@@ -408,6 +441,10 @@ type Report struct {
 	// Sharding describes how RunSharded parallelized the replay (zero for
 	// plain Run).
 	Sharding simulate.ShardReport
+	// Health aggregates the run's node-health episodes and MTTR (zero when
+	// health tracking is disabled, and for RunSharded, which refuses to
+	// shard with health tracking on).
+	Health HealthSummary
 }
 
 // FaultSummary renders the run's failure/recovery tallies, or "" when no
@@ -423,6 +460,18 @@ func (r *Report) FaultSummary() string {
 	if f.Hangs > 0 || f.WatchdogCancels > 0 || f.BreakerShortCircuits > 0 {
 		out += fmt.Sprintf(" | %d hangs (%d watchdog-cancelled), %d breaker short-circuits",
 			f.Hangs, f.WatchdogCancels, f.BreakerShortCircuits)
+	}
+	if f.SlowWindows > 0 || f.FlakyWindows > 0 || f.BandwidthWindows > 0 {
+		out += fmt.Sprintf(" | gray: %d slow, %d flaky (%d fallbacks), %d bandwidth windows",
+			f.SlowWindows, f.FlakyWindows, f.FlakyFallbacks, f.BandwidthWindows)
+	}
+	if f.HedgedTransforms > 0 || f.BackoffRetries > 0 {
+		out += fmt.Sprintf(" | %d hedged (%d wins), %d backoff-delayed retries",
+			f.HedgedTransforms, f.HedgeWins, f.BackoffRetries)
+	}
+	if r.Health.Episodes > 0 || r.Health.Suspects > 0 {
+		out += fmt.Sprintf(" | health: %d episodes, MTTR %.0fms, %d quarantines",
+			r.Health.Episodes, r.Health.MTTRMS, r.Health.Quarantines)
 	}
 	return out
 }
