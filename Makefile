@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt lint test race bench bench-scale bench-soak bench-recovery microbench benchguard scaleguard soakguard recoveryguard fuzz check
+.PHONY: build vet fmt lint test race bench bench-scale bench-soak bench-recovery bench-fanout microbench benchguard scaleguard soakguard recoveryguard fanoutguard fuzz check
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,12 @@ bench-soak:
 bench-recovery:
 	$(GO) run ./cmd/optimus-bench recovery
 
+# bench-fanout runs the burst fan-out-tree experiment (pipelined waves vs
+# independent transforms, zero-fault and donor-crash pairs) and leaves
+# BENCH_fanout.json in the repo root.
+bench-fanout:
+	$(GO) run ./cmd/optimus-bench fanout
+
 # microbench runs the Go testing.B microbenchmarks of the root package.
 microbench:
 	$(GO) test -bench=. -benchmem .
@@ -78,6 +84,13 @@ soakguard:
 recoveryguard:
 	$(GO) test -run 'TestRecoveryArtifact' ./internal/experiments
 
+# fanoutguard validates the checked-in BENCH_fanout.json against the fan-out
+# acceptance gate (time-to-16-warm below the independent baseline,
+# re-parenting under donor crashes with goodput held, double-run
+# byte-identity) and replays the burst experiment as a smoke.
+fanoutguard:
+	$(GO) test -run 'TestFanout' ./internal/experiments
+
 # fuzz runs a short native-fuzzing smoke over the plan executor and the
 # lint-directive parser.
 fuzz:
@@ -87,4 +100,4 @@ fuzz:
 # check is the pre-merge gate: formatting, static analysis (go vet plus the
 # project linter), a full build, the test suite under the race detector (the
 # gateway stress test needs it), and the benchmark regression guards.
-check: fmt vet lint build race benchguard scaleguard soakguard recoveryguard
+check: fmt vet lint build race benchguard scaleguard soakguard recoveryguard fanoutguard

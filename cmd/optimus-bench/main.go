@@ -40,7 +40,12 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	fo := cliutil.RegisterFanoutFlags(flag.CommandLine)
 	flag.Parse()
+	if err := fo.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	stopProf, err := cliutil.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -64,6 +69,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "baselines:   bench (emits BENCH_planner.json + BENCH_sim.json into -out)")
 		fmt.Fprintln(os.Stderr, "             scale (replays one trace serial/indexed/sharded; emits BENCH_sim_scale.json into -out)")
 		fmt.Fprintln(os.Stderr, "             soak (chaos soak, baseline vs resilient; emits BENCH_soak.json into -out)")
+		fmt.Fprintln(os.Stderr, "             fanout (burst fan-out trees vs independent transforms; emits BENCH_fanout.json into -out)")
 		fmt.Fprintln(os.Stderr, "             recovery also emits BENCH_recovery.json into -out")
 		os.Exit(2)
 	}
@@ -168,6 +174,13 @@ func main() {
 			out, result = r.Render(), r
 		case "recovery":
 			r := experiments.Recovery(o, sweepRates, *horizon)
+			if err := r.WriteFile(*outDir); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			out, result = r.Render(), r
+		case "fanout":
+			r := experiments.Fanout(o, fo.Config())
 			if err := r.WriteFile(*outDir); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)

@@ -61,6 +61,7 @@ func main() {
 	)
 	ff := cliutil.RegisterFaultFlags(flag.CommandLine, false)
 	rf := cliutil.RegisterResilienceFlags(flag.CommandLine)
+	fo := cliutil.RegisterFanoutFlags(flag.CommandLine)
 	flag.Parse()
 
 	if err := cliutil.ValidateProbs(map[string]float64{"-transform-failures": *failRate}); err != nil {
@@ -72,6 +73,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := rf.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := fo.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -123,6 +128,7 @@ func main() {
 		Health:            rf.HealthConfig(),
 		Retry:             rf.BackoffConfig(),
 		Hedge:             rf.HedgeConfig(),
+		Fanout:            fo.Config(),
 	}
 	sys := optimus.NewSystem(sysCfg)
 
@@ -240,6 +246,9 @@ func main() {
 	}
 	fmt.Println(rep.Summary())
 	if fs := rep.FaultSummary(); fs != "" {
+		fmt.Println(fs)
+	}
+	if fs := rep.FanoutSummary(); fs != "" {
 		fmt.Println(fs)
 	}
 	br := rep.MeanBreakdown()

@@ -35,6 +35,7 @@ var defaultVirtualPackages = []string{
 	"repro/internal/model",
 	"repro/internal/workload",
 	"repro/internal/balancer",
+	"repro/internal/fanout",
 }
 
 // Wallclock bans wall-clock reads (time.Now, Since, Sleep, After, timers)

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/fanout"
 	"repro/internal/faults"
 	"repro/internal/health"
 	"repro/internal/supervisor"
@@ -112,6 +113,7 @@ func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
 type FaultFlags struct {
 	Transform, Load, Crash, Outage, Hang *float64
 	Slow, Flaky, Bandwidth               *float64
+	FanoutCrash, Corrupt                 *float64
 	// Checkpoint is nil unless registered (optimus-server only).
 	Checkpoint *float64
 }
@@ -129,6 +131,10 @@ func RegisterFaultFlags(fs *flag.FlagSet, checkpoint bool) *FaultFlags {
 		Slow:      fs.Float64("fault-slow", 0, "per-arrival probability the routed node enters a gray slowdown window"),
 		Flaky:     fs.Float64("fault-flaky", 0, "probability a transform donor turns flaky for a window (intermittent aborts)"),
 		Bandwidth: fs.Float64("fault-bandwidth", 0, "probability a node's transform bandwidth degrades for a window"),
+		FanoutCrash: fs.Float64("fault-fanout-crash", 0,
+			"probability a fan-out donor crashes mid-donation (orphans re-parent)"),
+		Corrupt: fs.Float64("fault-corrupt", 0,
+			"probability a fan-out donation emits a corrupt model (descendants quarantine)"),
 	}
 	if checkpoint {
 		f.Checkpoint = fs.Float64("fault-checkpoint", 0, "probability a checkpoint write fails (previous snapshot kept)")
@@ -140,14 +146,16 @@ func RegisterFaultFlags(fs *flag.FlagSet, checkpoint bool) *FaultFlags {
 // values in one consolidated error (the ValidateProbs contract).
 func (f *FaultFlags) Validate() error {
 	probs := map[string]float64{
-		"-fault-transform": *f.Transform,
-		"-fault-load":      *f.Load,
-		"-fault-crash":     *f.Crash,
-		"-fault-outage":    *f.Outage,
-		"-fault-hang":      *f.Hang,
-		"-fault-slow":      *f.Slow,
-		"-fault-flaky":     *f.Flaky,
-		"-fault-bandwidth": *f.Bandwidth,
+		"-fault-transform":    *f.Transform,
+		"-fault-load":         *f.Load,
+		"-fault-crash":        *f.Crash,
+		"-fault-outage":       *f.Outage,
+		"-fault-hang":         *f.Hang,
+		"-fault-slow":         *f.Slow,
+		"-fault-flaky":        *f.Flaky,
+		"-fault-bandwidth":    *f.Bandwidth,
+		"-fault-fanout-crash": *f.FanoutCrash,
+		"-fault-corrupt":      *f.Corrupt,
 	}
 	if f.Checkpoint != nil {
 		probs["-fault-checkpoint"] = *f.Checkpoint
@@ -158,14 +166,16 @@ func (f *FaultFlags) Validate() error {
 // Rates resolves the parsed flags into the injector's rate set.
 func (f *FaultFlags) Rates() faults.Rates {
 	r := faults.Rates{
-		Transform: *f.Transform,
-		Load:      *f.Load,
-		Crash:     *f.Crash,
-		Outage:    *f.Outage,
-		Hang:      *f.Hang,
-		Slow:      *f.Slow,
-		Flaky:     *f.Flaky,
-		Bandwidth: *f.Bandwidth,
+		Transform:   *f.Transform,
+		Load:        *f.Load,
+		Crash:       *f.Crash,
+		Outage:      *f.Outage,
+		Hang:        *f.Hang,
+		Slow:        *f.Slow,
+		Flaky:       *f.Flaky,
+		Bandwidth:   *f.Bandwidth,
+		FanoutCrash: *f.FanoutCrash,
+		Corrupt:     *f.Corrupt,
 	}
 	if f.Checkpoint != nil {
 		r.CheckpointWrite = *f.Checkpoint
@@ -238,6 +248,60 @@ func (r *ResilienceFlags) BackoffConfig() supervisor.BackoffConfig {
 // HedgeConfig resolves the hedge flag (zero percentile disables).
 func (r *ResilienceFlags) HedgeConfig() supervisor.HedgeConfig {
 	return supervisor.HedgeConfig{Percentile: *r.HedgePct}
+}
+
+// FanoutFlags bundles the fan-out transform tree flags the binaries share
+// (one registration + validation path, like FaultFlags).
+type FanoutFlags struct {
+	Enabled     *bool
+	Bandwidth   *int
+	Threshold   *int
+	Max         *int
+	Independent *bool
+}
+
+// RegisterFanoutFlags installs the shared -fanout* flags on fs.
+func RegisterFanoutFlags(fs *flag.FlagSet) *FanoutFlags {
+	return &FanoutFlags{
+		Enabled:   fs.Bool("fanout", false, "enable fault-tolerant fan-out transform trees for burst absorption"),
+		Bandwidth: fs.Int("fanout-bandwidth", 0, "concurrent outbound donation streams per node (default 2)"),
+		Threshold: fs.Int("fanout-threshold", 0, "per-node queue depth that triggers a tree (default 4)"),
+		Max:       fs.Int("fanout-max", 0, "cap on replicas one tree builds (default 16)"),
+		Independent: fs.Bool("fanout-independent", false,
+			"baseline schedule: only original seeds donate (no wave pipelining)"),
+	}
+}
+
+// Validate checks the fan-out flag values, reporting every bad value in one
+// consolidated error like ValidateProbs.
+func (f *FanoutFlags) Validate() error {
+	var bad []string
+	for name, v := range map[string]int{
+		"-fanout-bandwidth": *f.Bandwidth,
+		"-fanout-threshold": *f.Threshold,
+		"-fanout-max":       *f.Max,
+	} {
+		if v < 0 {
+			bad = append(bad, fmt.Sprintf("%s=%d (want ≥ 0)", name, v))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	return fmt.Errorf("invalid fanout flags: %s", strings.Join(bad, ", "))
+}
+
+// Config resolves the parsed flags into the fan-out tree configuration; zero
+// values keep the package defaults.
+func (f *FanoutFlags) Config() fanout.Config {
+	return fanout.Config{
+		Enabled:       *f.Enabled || *f.Independent,
+		Bandwidth:     *f.Bandwidth,
+		Threshold:     *f.Threshold,
+		MaxRecipients: *f.Max,
+		Independent:   *f.Independent,
+	}
 }
 
 // ParseChaosRates parses a -chaos-rates flag value, wrapping errors with the

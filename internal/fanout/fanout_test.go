@@ -1,0 +1,287 @@
+package fanout
+
+import (
+	"testing"
+	"time"
+)
+
+// drive runs a tree to completion with a tiny synchronous scheduler: every
+// eligible recipient starts immediately, structure loads finish instantly,
+// and donations complete in assignment order, one per tick. corrupt marks
+// member IDs whose completion draws the corrupt-output fault. onTick lets a
+// test inject donor kills mid-wave; it runs before the tick's completion.
+func drive(t *testing.T, tr *Tree, nodes []int, corrupt map[int]bool, onTick func(tick int)) time.Duration {
+	t.Helper()
+	now := time.Duration(0)
+	var active []int // children streaming or loading, in schedule order
+	schedule := func(as []Assignment) {
+		for _, a := range as {
+			active = append(active, a.Child)
+		}
+	}
+	for tick := 0; tick < 10_000; tick++ {
+		for {
+			child, _, ok := tr.StartRecipient(nodes)
+			if !ok {
+				break
+			}
+			if a, ok := tr.StructDone(child, nil); ok {
+				schedule([]Assignment{a})
+			}
+		}
+		schedule(tr.PumpPending(nil))
+		if tr.Done() {
+			return now
+		}
+		if onTick != nil {
+			onTick(tick)
+			// A kill may have orphaned children; rebuild the active list
+			// from live building members (copying the engine's event-drop).
+			active = active[:0]
+			for _, m := range tr.Members() {
+				if m.State == StateBuilding && (m.phase == phaseWeights || m.phase == phaseLoad) {
+					active = append(active, m.ID)
+				}
+			}
+		}
+		if len(active) == 0 {
+			t.Fatalf("tree stalled at tick %d: %+v", tick, tr.Stats())
+		}
+		child := active[0]
+		active = active[1:]
+		now += time.Second
+		res := tr.Complete(child, now, corrupt[child])
+		// Quarantined in-flight children lose their scheduled completions.
+		if len(res.Swept.Cancelled) > 0 {
+			drop := make(map[int]bool, len(res.Swept.Cancelled))
+			for _, id := range res.Swept.Cancelled {
+				drop[id] = true
+			}
+			kept := active[:0]
+			for _, id := range active {
+				if !drop[id] {
+					kept = append(kept, id)
+				}
+			}
+			active = kept
+		}
+		if res.TreeDone {
+			return now
+		}
+		schedule(tr.PumpPending(nil))
+	}
+	t.Fatalf("tree did not complete: %+v", tr.Stats())
+	return now
+}
+
+func TestZeroFaultTreeCompletes(t *testing.T) {
+	tr := New(Config{Bandwidth: 2, MaxRecipients: 16}, "fn", 16, 0)
+	tr.AddSeed(0)
+	nodes := []int{0, 1, 2, 3}
+	drive(t, tr, nodes, nil, nil)
+
+	st := tr.Stats()
+	if st.Recipients != 16 || st.TreesCompleted != 1 {
+		t.Fatalf("stats = %+v, want 16 recipients, 1 completed tree", st)
+	}
+	if st.Reparents != 0 || st.Quarantined != 0 || st.LoadFallbacks != 0 || st.WaveCancels != 0 {
+		t.Fatalf("zero-fault run recorded resilience events: %+v", st)
+	}
+	if st.Waves < 2 {
+		t.Fatalf("tree mode should recurse across waves, got %d", st.Waves)
+	}
+	warm, perNode := 0, map[int]int{}
+	for _, m := range tr.Members() {
+		if m.Seed {
+			continue
+		}
+		if m.State != StateWarm {
+			t.Fatalf("member %d ended %s", m.ID, m.State)
+		}
+		warm++
+		perNode[m.Node]++
+	}
+	if warm != 16 {
+		t.Fatalf("warm recipients = %d, want 16", warm)
+	}
+	for n, c := range perNode {
+		if c != 4 {
+			t.Fatalf("placement should spread evenly, node %d hosts %d", n, c)
+		}
+	}
+	for _, n := range nodes {
+		if tr.Streams(n) != 0 {
+			t.Fatalf("node %d leaked %d donation streams", n, tr.Streams(n))
+		}
+	}
+}
+
+func TestIndependentModeOnlySeedsDonate(t *testing.T) {
+	tr := New(Config{Bandwidth: 2, MaxRecipients: 8, Independent: true}, "fn", 8, 0)
+	seed := tr.AddSeed(0)
+	drive(t, tr, []int{0, 1}, nil, nil)
+	for _, m := range tr.Members() {
+		if m.Seed {
+			continue
+		}
+		if m.Parent != seed {
+			t.Fatalf("independent mode let member %d stream from %d, want seed %d", m.ID, m.Parent, seed)
+		}
+		if m.Wave != 1 {
+			t.Fatalf("independent children are all wave 1, member %d is wave %d", m.ID, m.Wave)
+		}
+	}
+	if st := tr.Stats(); st.Waves != 1 {
+		t.Fatalf("independent schedule reported %d waves", st.Waves)
+	}
+}
+
+func TestDonorCrashReparentsOntoAncestor(t *testing.T) {
+	tr := New(Config{Bandwidth: 1, MaxRecipients: 6}, "fn", 6, 0)
+	tr.AddSeed(0)
+	killed := false
+	drive(t, tr, []int{0, 1, 2}, nil, func(tick int) {
+		if killed {
+			return
+		}
+		// Kill the first non-seed donor that is actively streaming.
+		for _, m := range tr.Members() {
+			if !m.Seed && (m.State == StateWarm || m.State == StatePoisoned) && m.inflight > 0 {
+				rep := tr.DonorLost(m.ID, nil, true)
+				if len(rep) == 0 {
+					t.Fatalf("killed donor %d had no orphans", m.ID)
+				}
+				for _, r := range rep {
+					if r.NewDonor == m.ID {
+						t.Fatalf("orphan re-parented onto the dead donor")
+					}
+				}
+				killed = true
+				return
+			}
+		}
+	})
+	if !killed {
+		t.Fatal("no streaming donor ever observed")
+	}
+	st := tr.Stats()
+	if st.DonorCrashes != 1 || st.Reparents == 0 {
+		t.Fatalf("stats = %+v, want 1 donor crash with re-parents", st)
+	}
+	if st.TreesCompleted != 1 {
+		t.Fatalf("tree should still complete after the crash: %+v", st)
+	}
+}
+
+func TestCorruptOutputQuarantinesSubtree(t *testing.T) {
+	tr := New(Config{Bandwidth: 2, MaxRecipients: 12}, "fn", 12, 0)
+	tr.AddSeed(0)
+	// Member 1 is the first recipient; poisoning it poisons whatever streams
+	// from it before the wave sweep catches the unbalanced ledger.
+	drive(t, tr, []int{0, 1, 2}, map[int]bool{1: true}, nil)
+
+	st := tr.Stats()
+	if st.CorruptOutputs != 1 {
+		t.Fatalf("corrupt outputs = %d, want 1", st.CorruptOutputs)
+	}
+	if st.Quarantined == 0 {
+		t.Fatalf("the poisoned member was never quarantined: %+v", st)
+	}
+	if st.Recipients <= 12 {
+		t.Fatalf("quarantined members must be rebuilt: %d recipients for want 12", st.Recipients)
+	}
+	members := tr.Members()
+	if members[1].State != StateQuarantined {
+		t.Fatalf("member 1 ended %s, want quarantined", members[1].State)
+	}
+	// Lineage check: every quarantined member descends from member 1, and
+	// every surviving warm replica has a clean ledger.
+	warm := 0
+	for _, m := range members {
+		if m.Seed {
+			continue
+		}
+		switch m.State {
+		case StateQuarantined:
+			root := m
+			for root.Parent >= 0 {
+				root = members[root.Parent]
+			}
+			// Member 1's own parent chain ends at -1 via the seed lineage;
+			// a quarantined member either is member 1 or descends from it.
+			if m.ID != 1 {
+				anc := m
+				for anc.Parent >= 0 && anc.ID != 1 {
+					anc = members[anc.Parent]
+				}
+				if anc.ID != 1 {
+					t.Fatalf("member %d quarantined outside member 1's subtree", m.ID)
+				}
+			}
+		case StateWarm:
+			warm++
+			if m.poisonedLedger() {
+				t.Fatalf("member %d is warm with an unbalanced ledger", m.ID)
+			}
+		case StatePoisoned:
+			t.Fatalf("member %d survived poisoned — the final audit missed it", m.ID)
+		}
+	}
+	if warm != 12 {
+		t.Fatalf("clean warm replicas = %d, want 12", warm)
+	}
+}
+
+func TestToFallbackCutsLineageAndCounts(t *testing.T) {
+	tr := New(Config{Bandwidth: 1, MaxRecipients: 2}, "fn", 2, 0)
+	tr.AddSeed(0)
+	child, _, ok := tr.StartRecipient([]int{0})
+	if !ok {
+		t.Fatal("recipient refused")
+	}
+	a, ok := tr.StructDone(child, nil)
+	if !ok || a.Donor != 0 {
+		t.Fatalf("expected seed donation, got %+v ok=%v", a, ok)
+	}
+	if tr.Streams(0) != 1 {
+		t.Fatalf("streams = %d, want 1", tr.Streams(0))
+	}
+	tr.ToFallback(child, true) // wave-deadline cancel
+	if tr.Streams(0) != 0 {
+		t.Fatal("fallback must release the donation stream")
+	}
+	res := tr.Complete(child, time.Second, false)
+	if !res.Swept.Empty() {
+		t.Fatalf("fallback completion swept %+v", res.Swept)
+	}
+	st := tr.Stats()
+	if st.WaveCancels != 1 || st.LoadFallbacks != 1 {
+		t.Fatalf("stats = %+v, want 1 wave cancel + 1 load fallback", st)
+	}
+	m := tr.Members()[child]
+	if m.State != StateWarm || m.Parent != -1 {
+		t.Fatalf("fallback child = %+v, want warm with no parent", m)
+	}
+}
+
+func TestTwoRunsAreIdentical(t *testing.T) {
+	run := func() ([]Member, time.Duration) {
+		tr := New(Config{Bandwidth: 2, MaxRecipients: 16}, "fn", 16, 0)
+		tr.AddSeed(0)
+		tr.AddSeed(1)
+		at := drive(t, tr, []int{0, 1, 2, 3}, map[int]bool{4: true}, nil)
+		return tr.Members(), at
+	}
+	m1, t1 := run()
+	m2, t2 := run()
+	if t1 != t2 || len(m1) != len(m2) {
+		t.Fatalf("runs diverged: %v/%d vs %v/%d members", t1, len(m1), t2, len(m2))
+	}
+	for i := range m1 {
+		a, b := m1[i], m2[i]
+		if a.ID != b.ID || a.Node != b.Node || a.Parent != b.Parent ||
+			a.Wave != b.Wave || a.State != b.State {
+			t.Fatalf("member %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}

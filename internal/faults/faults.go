@@ -52,6 +52,15 @@ const (
 	// Bandwidth is a gray failure: a node's transform bandwidth degrades for
 	// a window, multiplying the cost of transformations executed on it.
 	Bandwidth
+	// FanoutCrash is a donor container dying mid-fan-out while streaming
+	// weights to a child: its in-flight children are orphaned and must be
+	// re-parented onto the nearest healthy ancestor in the transform tree.
+	FanoutCrash
+	// Corrupt is a transformation completing but emitting a corrupt model:
+	// the member looks warm, may donate onward, and is only caught by the
+	// meta-operator edge-balance verification at the next wave boundary —
+	// at which point its descendant subtree is quarantined.
+	Corrupt
 	eventCount
 )
 
@@ -76,6 +85,10 @@ func (e Event) String() string {
 		return "flaky"
 	case Bandwidth:
 		return "bandwidth"
+	case FanoutCrash:
+		return "fanout-crash"
+	case Corrupt:
+		return "corrupt"
 	default:
 		return fmt.Sprintf("event(%d)", int(e))
 	}
@@ -106,13 +119,21 @@ type Rates struct {
 	// Bandwidth is the per-transform probability the executing node's
 	// transform bandwidth degrades for a window.
 	Bandwidth float64
+	// FanoutCrash is the per-donation probability the donor container dies
+	// midway through streaming weights to a fan-out child.
+	FanoutCrash float64
+	// Corrupt is the per-completion probability a fan-out child finishes
+	// with a corrupt model (detected only at the wave-boundary edge-balance
+	// verification).
+	Corrupt float64
 }
 
 // Enabled reports whether any rate is nonzero.
 func (r Rates) Enabled() bool {
 	return r.Transform > 0 || r.Load > 0 || r.Crash > 0 || r.Outage > 0 ||
 		r.Hang > 0 || r.CheckpointWrite > 0 ||
-		r.Slow > 0 || r.Flaky > 0 || r.Bandwidth > 0
+		r.Slow > 0 || r.Flaky > 0 || r.Bandwidth > 0 ||
+		r.FanoutCrash > 0 || r.Corrupt > 0
 }
 
 func (r Rates) rate(e Event) float64 {
@@ -135,6 +156,10 @@ func (r Rates) rate(e Event) float64 {
 		return r.Flaky
 	case Bandwidth:
 		return r.Bandwidth
+	case FanoutCrash:
+		return r.FanoutCrash
+	case Corrupt:
+		return r.Corrupt
 	default:
 		return 0
 	}

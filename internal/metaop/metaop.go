@@ -9,12 +9,32 @@
 package metaop
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/cost"
 	"repro/internal/model"
 )
+
+// ErrEdgeBalance reports that a plan's declared edge rewiring does not
+// balance against the edge-count difference between its source and
+// destination graphs — the signature of a truncated or tampered plan.
+var ErrEdgeBalance = errors.New("metaop: edge rewiring out of balance")
+
+// CheckEdgeBalance validates the edge-balance invariant: every destination
+// edge is either kept from the mapped source wiring or introduced by an
+// Edge-add step, and every source edge is either kept or dropped by an
+// Edge-remove step, so adds−removes must equal the edge-count difference
+// diff. It is used by Apply on every plan execution and by the fan-out tree
+// to verify a donor's inherited rewiring ledger before trusting its output.
+func CheckEdgeBalance(adds, removes, diff int) error {
+	if adds-removes != diff {
+		return fmt.Errorf("%w: plan rewires %d−%d edges but the graphs differ by %d (truncated plan?)",
+			ErrEdgeBalance, adds, removes, diff)
+	}
+	return nil
+}
 
 // Kind identifies a meta-operator.
 type Kind uint8
@@ -266,13 +286,10 @@ func Apply(prof *cost.Profile, p *Plan, src *model.Graph, dst *model.Graph) (*mo
 		avail[k]--
 		slots[j] = &op
 	}
-	// Every destination edge is either kept from the mapped source wiring or
-	// introduced by an Edge-add step, and every source edge is either kept or
-	// dropped by an Edge-remove step, so adds−removes must equal the edge
-	// count difference. A truncated edge list breaks this balance.
-	if edgeAdds-edgeRemoves != len(dst.Edges())-len(src.Edges()) {
-		return nil, 0, fmt.Errorf("metaop: plan rewires %d−%d edges but the graphs differ by %d (truncated plan?)",
-			edgeAdds, edgeRemoves, len(dst.Edges())-len(src.Edges()))
+	// A truncated edge list breaks the adds−removes balance (see
+	// CheckEdgeBalance).
+	if err := CheckEdgeBalance(edgeAdds, edgeRemoves, len(dst.Edges())-len(src.Edges())); err != nil {
+		return nil, 0, err
 	}
 	for _, op := range slots {
 		out.AddOp(*op)

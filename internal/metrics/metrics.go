@@ -41,6 +41,10 @@ const (
 	// donor and won, the hung primary was cancelled as the loser, and the
 	// request paid the deadline window plus the backup transform.
 	StartHedge
+	// StartFanout reused a replica warmed ahead of demand by a fan-out
+	// transform tree (a burst triggered multicast-style donor replication and
+	// this request was the replica's first service).
+	StartFanout
 	startKindCount
 )
 
@@ -61,6 +65,8 @@ func (k StartKind) String() string {
 		return "breaker"
 	case StartHedge:
 		return "hedge"
+	case StartFanout:
+		return "fanout"
 	default:
 		return fmt.Sprintf("startkind(%d)", uint8(k))
 	}
@@ -140,6 +146,64 @@ func (f FaultStats) Any() bool {
 	return f != FaultStats{}
 }
 
+// FanoutStats tallies fan-out transform-tree activity over a run: how many
+// trees ran, how fast they warmed their target replica count, and every
+// resilience event along the way (package fanout describes the tree model).
+type FanoutStats struct {
+	// Trees counts fan-out trees started; TreesCompleted counts those that
+	// reached their target warm-replica count within the run.
+	Trees, TreesCompleted int
+	// Recipients counts child transforms completed, including replacements
+	// rebuilt after a quarantine or cancellation.
+	Recipients int
+	// Waves is the deepest tree wave reached across all trees (seeds are
+	// wave 0).
+	Waves int
+	// DonorCrashes counts donors that died midway through streaming weights
+	// to a child; Reparents counts orphaned in-flight children re-parented
+	// onto the nearest healthy ancestor afterwards.
+	DonorCrashes, Reparents int
+	// CorruptOutputs counts children that completed with a corrupt model;
+	// Quarantined counts members cut out of the tree by the wave-boundary
+	// edge-balance verification (each poisoned member plus its descendants).
+	CorruptOutputs, Quarantined int
+	// WaveCancels counts children cancelled by the per-wave watchdog
+	// deadline and diverted to the from-scratch fallback.
+	WaveCancels int
+	// LoadFallbacks counts children built by a from-scratch load instead of
+	// a donation (open circuit breaker, no healthy donor, or wave cancel).
+	LoadFallbacks int
+	// TimeToWarm is the slowest completed tree's trigger-to-target-warm
+	// duration (virtual time).
+	TimeToWarm time.Duration
+}
+
+// Any reports whether any fan-out activity was recorded.
+func (f FanoutStats) Any() bool {
+	return f != FanoutStats{}
+}
+
+// Merge folds another run's (or tree's) tallies into f: counters add, while
+// Waves and TimeToWarm keep the maximum — the deepest tree and the slowest
+// warm-up are the figures of merit.
+func (f *FanoutStats) Merge(o FanoutStats) {
+	f.Trees += o.Trees
+	f.TreesCompleted += o.TreesCompleted
+	f.Recipients += o.Recipients
+	f.DonorCrashes += o.DonorCrashes
+	f.Reparents += o.Reparents
+	f.CorruptOutputs += o.CorruptOutputs
+	f.Quarantined += o.Quarantined
+	f.WaveCancels += o.WaveCancels
+	f.LoadFallbacks += o.LoadFallbacks
+	if o.Waves > f.Waves {
+		f.Waves = o.Waves
+	}
+	if o.TimeToWarm > f.TimeToWarm {
+		f.TimeToWarm = o.TimeToWarm
+	}
+}
+
 // Collector accumulates request records. It maintains running aggregates
 // (latency sum, per-kind counts) and a cached sorted-latency view so that
 // summary reads over million-record replays cost O(1) — or one sort, reused
@@ -150,6 +214,8 @@ type Collector struct {
 	records []Record
 	// Faults tallies injected failures observed during the run.
 	Faults FaultStats
+	// Fanout tallies fan-out transform-tree activity observed during the run.
+	Fanout FanoutStats
 
 	// latSum and kinds are running aggregates maintained by Add/RestoreFrom.
 	latSum time.Duration

@@ -1,0 +1,64 @@
+// Fan-out wave planning: the shape of a multicast transform tree in which
+// every completed recipient immediately becomes a donor for the next wave
+// (λScale-style fast model scaling). The planner only computes the ideal
+// fault-free schedule shape; package fanout executes it against the live
+// cluster and absorbs donor crashes, corrupt outputs and degraded nodes.
+package planner
+
+import "time"
+
+// FanoutWaves returns the per-wave child counts of the ideal fan-out tree
+// that warms n new replicas starting from the given seed donors, where every
+// donor streams to at most bandwidth children per wave and every completed
+// child donates from the next wave on. Donor capacity therefore grows
+// (1+bandwidth)× per wave, so the schedule has O(log n) waves instead of the
+// n/(seeds·bandwidth) rounds of independent transforms. The returned slice
+// has one entry per wave; entries sum to n. It is empty when n ≤ 0 and nil
+// when there are no donors to start from.
+func FanoutWaves(n, seeds, bandwidth int) []int {
+	if seeds <= 0 || bandwidth <= 0 {
+		return nil
+	}
+	waves := []int{}
+	donors := seeds
+	for n > 0 {
+		k := donors * bandwidth
+		if k > n {
+			k = n
+		}
+		waves = append(waves, k)
+		donors += k
+		n -= k
+	}
+	return waves
+}
+
+// FanoutDepth returns the number of waves of the ideal schedule.
+func FanoutDepth(n, seeds, bandwidth int) int {
+	return len(FanoutWaves(n, seeds, bandwidth))
+}
+
+// FanoutMakespan estimates the fault-free completion time of the ideal
+// schedule when every child costs structDur (recipient-local structure load)
+// plus weightsDur (donor-occupying weights assignment). Structure loads are
+// pipelined: wave w+1 recipients load structure while wave w donors stream
+// weights, so only the first wave pays structDur on the critical path.
+func FanoutMakespan(n, seeds, bandwidth int, structDur, weightsDur time.Duration) time.Duration {
+	depth := FanoutDepth(n, seeds, bandwidth)
+	if depth == 0 {
+		return 0
+	}
+	return structDur + time.Duration(depth)*weightsDur
+}
+
+// IndependentMakespan estimates the completion time of the baseline schedule
+// in which only the seed donors ever donate: n children are streamed in
+// ceil(n/(seeds·bandwidth)) sequential rounds, with the same one-time
+// pipelined structure load up front.
+func IndependentMakespan(n, seeds, bandwidth int, structDur, weightsDur time.Duration) time.Duration {
+	if n <= 0 || seeds <= 0 || bandwidth <= 0 {
+		return 0
+	}
+	rounds := (n + seeds*bandwidth - 1) / (seeds * bandwidth)
+	return structDur + time.Duration(rounds)*weightsDur
+}

@@ -1,0 +1,57 @@
+package planner
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFanoutWavesShape(t *testing.T) {
+	cases := []struct {
+		n, seeds, bw int
+		want         []int
+	}{
+		{0, 1, 2, []int{}},
+		{-3, 1, 2, []int{}},
+		{16, 1, 1, []int{1, 2, 4, 8, 1}}, // doubling donors
+		{16, 1, 2, []int{2, 6, 8}},
+		{16, 4, 2, []int{8, 8}},
+		{5, 2, 2, []int{4, 1}},
+		{1, 1, 8, []int{1}},
+	}
+	for _, c := range cases {
+		got := FanoutWaves(c.n, c.seeds, c.bw)
+		if len(got) != len(c.want) {
+			t.Fatalf("FanoutWaves(%d,%d,%d) = %v, want %v", c.n, c.seeds, c.bw, got, c.want)
+		}
+		sum := 0
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("FanoutWaves(%d,%d,%d) = %v, want %v", c.n, c.seeds, c.bw, got, c.want)
+			}
+			sum += got[i]
+		}
+		if c.n > 0 && sum != c.n {
+			t.Fatalf("FanoutWaves(%d,%d,%d) sums to %d", c.n, c.seeds, c.bw, sum)
+		}
+	}
+	if FanoutWaves(4, 0, 2) != nil || FanoutWaves(4, 1, 0) != nil {
+		t.Fatal("no donors or no bandwidth should yield a nil schedule")
+	}
+}
+
+func TestFanoutMakespanBeatsIndependent(t *testing.T) {
+	const structDur, weightsDur = 100 * time.Millisecond, 400 * time.Millisecond
+	tree := FanoutMakespan(16, 1, 2, structDur, weightsDur)
+	indep := IndependentMakespan(16, 1, 2, structDur, weightsDur)
+	if tree >= indep {
+		t.Fatalf("tree makespan %v should beat independent %v for 16 replicas", tree, indep)
+	}
+	// Depth 3 for n=16, seeds=1, bw=2 (2+6+8): one structure load plus three
+	// pipelined weight waves.
+	if want := structDur + 3*weightsDur; tree != want {
+		t.Fatalf("tree makespan = %v, want %v", tree, want)
+	}
+	if want := structDur + 8*weightsDur; indep != want {
+		t.Fatalf("independent makespan = %v, want %v", indep, want)
+	}
+}

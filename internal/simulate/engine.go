@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cost"
+	"repro/internal/fanout"
 	"repro/internal/faults"
 	"repro/internal/health"
 	"repro/internal/metaop"
@@ -117,6 +118,13 @@ type Config struct {
 	// backup started from the next-best donor, and the loser is cancelled.
 	// A zero Percentile disables hedging.
 	Hedge supervisor.HedgeConfig
+	// Fanout configures fault-tolerant transform fan-out trees for burst
+	// absorption (package fanout): a per-node queue for a function crossing
+	// the threshold triggers a multicast-style replication tree seeded from
+	// the function's warm containers, with every completed replica donating
+	// to the next wave. Trace-replay (event-loop) mode only — Online serving
+	// never queues, so trees never trigger there. The zero value disables it.
+	Fanout fanout.Config
 	// RouteScan forces the legacy O(nodes×containers) scanning router for
 	// trace replay instead of the incrementally-maintained routing index —
 	// the "current engine" baseline for the scale benchmark.
@@ -185,6 +193,9 @@ func (c Config) withDefaults() Config {
 	if c.BandwidthDuration <= 0 {
 		c.BandwidthDuration = 60 * time.Second
 	}
+	if c.Fanout.Enabled {
+		c.Fanout = c.Fanout.WithDefaults()
+	}
 	return c
 }
 
@@ -224,6 +235,12 @@ type Simulator struct {
 	health   *health.Tracker
 	backoff  *supervisor.Backoff
 	hedger   *supervisor.Hedger
+
+	// fanouts holds the active fan-out tree per function name; fanoutLog
+	// keeps every tree started so Run can fold incomplete trees' tallies into
+	// the collector at the end.
+	fanouts   map[string]*fanoutRun
+	fanoutLog []*fanoutRun
 }
 
 // fnRuntime is the per-function hot-path state: the resolved candidate node
@@ -463,7 +480,18 @@ func (s *Simulator) Run(trace *workload.Trace) (*metrics.Collector, error) {
 			s.complete(ev.node, ev.c)
 		case evCrash:
 			s.crash(ev.node, ev.c)
+		case evFanoutStruct:
+			s.fanoutStruct(ev)
+		case evFanoutDone:
+			s.fanoutDone(ev)
+		case evFanoutCrash:
+			s.fanoutCrash(ev)
 		}
+	}
+	// Trees that never reached their target (capacity-starved, donors all
+	// lost, or the trace simply ended) still report what they did.
+	for _, run := range s.fanoutLog {
+		s.mergeFanout(run)
 	}
 	return &s.collector, nil
 }
@@ -478,6 +506,13 @@ const (
 	evComplete
 	// evCrash destroys a container at its injected crash point.
 	evCrash
+	// evFanoutStruct finishes a fan-out recipient's local structure load.
+	evFanoutStruct
+	// evFanoutDone finishes a fan-out recipient's weights stream or fallback
+	// load, idling the warm replica into service.
+	evFanoutDone
+	// evFanoutCrash kills a fan-out donor midway through a donation.
+	evFanoutCrash
 )
 
 // event is a typed engine event. A flat struct on a hand-rolled heap instead
@@ -492,6 +527,15 @@ type event struct {
 	fr      *fnRuntime
 	arrival time.Duration
 	retries int
+	// fo, member and gen drive fan-out tree events: the run, the tree member
+	// the event concerns, and the generation it was scheduled under — stale
+	// events (member rescheduled or torn down since) are dropped at fire time.
+	fo     *fanoutRun
+	member int
+	gen    int
+	// foCorrupt carries the pre-drawn faults.Corrupt outcome of a scheduled
+	// donation, so the draw order is fixed at scheduling time.
+	foCorrupt bool
 }
 
 // eventHeap is a min-heap ordered by (at, seq).
@@ -611,12 +655,21 @@ func (s *Simulator) failNode(n *Node) {
 		s.watchdog.Expire(c.ID)
 		if c.hasServing {
 			c.hasServing = false
-			s.retryOrDrop(c.serving)
+			if c.crashPending {
+				// Only a crash-pending request is still unrecorded; any other
+				// in-flight service was committed at serve time and must not
+				// be re-dispatched (it would be counted twice).
+				c.crashPending = false
+				s.retryOrDrop(c.serving)
+			}
 		}
 	}
 	for _, q := range requeue {
 		s.dispatch(q.fr, q.arrival, q.retries)
 	}
+	// The outage may have wiped fan-out tree members; reconcile retires them
+	// and re-parents any children that were streaming from them.
+	s.pumpFanouts()
 }
 
 // retryOrDrop re-dispatches a request whose container was lost, or drops it
@@ -821,6 +874,9 @@ func (s *Simulator) candidates(fn *Function) []*Node {
 func (s *Simulator) serveOrQueue(node *Node, fr *fnRuntime, arrival time.Duration, retries int) {
 	if !s.serve(node, fr, arrival, retries) {
 		node.queue = append(node.queue, queued{fr: fr, arrival: arrival, retries: retries})
+		if s.cfg.Fanout.Enabled {
+			s.maybeFanout(node, fr)
+		}
 	}
 }
 
@@ -896,8 +952,12 @@ func (s *Simulator) superviseDecision(d Decision, fn *Function, node *Node, now 
 			}
 		}
 	}
+	// Every start kind that (re)acquires the model from scratch is exposed to
+	// load faults — including hedged recoveries, whose kind is assigned by
+	// superviseHang before this check runs.
 	if (d.Kind == metrics.StartCold || d.Kind == metrics.StartFallback ||
-		d.Kind == metrics.StartTimeout || d.Kind == metrics.StartBreaker) && s.inj.Fire(faults.Load) {
+		d.Kind == metrics.StartTimeout || d.Kind == metrics.StartBreaker ||
+		d.Kind == metrics.StartHedge) && s.inj.Fire(faults.Load) {
 		// The from-scratch load dies partway in and restarts: half the
 		// attempted load is wasted, then the full load runs again.
 		d.Load += d.Load / 2
@@ -985,6 +1045,15 @@ func (s *Simulator) serve(node *Node, fr *fnRuntime, arrival time.Duration, retr
 	if !ok {
 		return false
 	}
+	if d.Reuse != nil && d.Reuse.fanoutFresh {
+		// First service of a replica warmed by a fan-out tree: a warm reuse
+		// is credited to the tree. Any other decision (e.g. repurposing the
+		// replica for another function) just consumes the flag.
+		d.Reuse.fanoutFresh = false
+		if d.Kind == metrics.StartWarm {
+			d.Kind = metrics.StartFanout
+		}
+	}
 	if s.cfg.VerifyTransforms && d.Plan != nil && d.Reuse != nil {
 		if err := metaop.Verify(s.env.Profile, d.Plan, d.Reuse.Fn.Model, fn.Model); err != nil {
 			//optimus:allow panicpath — cross-check oracle: executed transformation contradicts its plan
@@ -1023,6 +1092,7 @@ func (s *Simulator) serve(node *Node, fr *fnRuntime, arrival time.Duration, retr
 		crashAt := now + service/2
 		c.BusyUntil = crashAt
 		c.serving, c.hasServing = inflight{fr: fr, arrival: arrival, retries: retries}, true
+		c.crashPending = true
 		node.noteStartService(c, fr.ord)
 		s.watchdog.Lease(c.ID, crashAt)
 		s.collector.Faults.Crashes++
@@ -1059,6 +1129,7 @@ func (s *Simulator) crash(node *Node, c *Container) {
 		return // already lost to a node outage
 	}
 	c.dead = true
+	c.crashPending = false
 	node.Remove(c)
 	s.watchdog.Expire(c.ID)
 	if c.hasServing {
@@ -1066,6 +1137,7 @@ func (s *Simulator) crash(node *Node, c *Container) {
 		s.retryOrDrop(c.serving)
 	}
 	s.drainQueue(node)
+	s.pumpFanouts()
 }
 
 // complete frees a container and drains the node's queue. Index timers are
@@ -1085,6 +1157,14 @@ func (s *Simulator) complete(node *Node, c *Container) {
 		s.health.NoteDrained(node.ID, s.clock)
 	}
 	s.drainQueue(node)
+	if c.fanoutBuilt {
+		// A tree-built replica that idles while other nodes still queue for
+		// its function pulls one of those requests over: fan-out warmth
+		// absorbs the burst cluster-wide, not just where static placement
+		// lets the router reach.
+		s.fanoutStealInto(node, c)
+	}
+	s.pumpFanouts()
 }
 
 // nodeDrained reports that the node has no busy containers left — the signal

@@ -1,0 +1,269 @@
+package simulate_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/fanout"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/simulate"
+	"repro/internal/supervisor"
+	"repro/internal/workload"
+)
+
+// fanoutBurst builds the canonical tree-trigger workload: one function pinned
+// to node 0, pre-warmed by a single request, then hit by a burst that
+// saturates the pinned node's two slots and queues deep enough to cross the
+// trigger threshold — while the other nodes hold the free capacity the tree
+// builds replicas into.
+func fanoutBurst(t *testing.T, burst int) ([]*simulate.Function, *workload.Trace) {
+	t.Helper()
+	const name = "resnet18-imagenet"
+	reqs := []workload.Request{{Function: name, At: 0}}
+	at := 5 * time.Minute
+	for i := 0; i < burst; i++ {
+		reqs = append(reqs, workload.Request{Function: name, At: at + time.Duration(i)*time.Millisecond})
+	}
+	return testFunctions(t, name), &workload.Trace{Duration: at + 2*time.Hour, Requests: reqs}
+}
+
+func fanoutConfig(fc fanout.Config) simulate.Config {
+	fc.Enabled = true
+	return simulate.Config{
+		Policy: policy.Optimus{}, Nodes: 4, ContainersPerNode: 2, Seed: 7,
+		Placement: map[string][]int{"resnet18-imagenet": {0}},
+		Fanout:    fc,
+	}
+}
+
+func runFanout(t *testing.T, cfg simulate.Config, fns []*simulate.Function, tr *workload.Trace) (*metrics.Collector, *simulate.Simulator) {
+	t.Helper()
+	sim := simulate.New(cfg, fns)
+	col, err := sim.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col, sim
+}
+
+// warmSet summarizes the cluster's final container population: how many
+// containers per node hold each function.
+func warmSet(sim *simulate.Simulator) map[string][]int {
+	out := make(map[string][]int)
+	nodes := sim.Nodes()
+	for i, n := range nodes {
+		for _, c := range n.Containers {
+			if out[c.Fn.Name] == nil {
+				out[c.Fn.Name] = make([]int, len(nodes))
+			}
+			out[c.Fn.Name][i]++
+		}
+	}
+	return out
+}
+
+func TestFanoutAbsorbsBurstBeyondPlacement(t *testing.T) {
+	fns, tr := fanoutBurst(t, 40)
+	cfg := fanoutConfig(fanout.Config{})
+	col, _ := runFanout(t, cfg, fns, tr)
+
+	fs := col.Fanout
+	if fs.Trees != 1 {
+		t.Fatalf("Trees = %d, want 1 (fanout stats: %+v)", fs.Trees, fs)
+	}
+	if fs.Recipients == 0 || fs.TimeToWarm == 0 {
+		t.Fatalf("tree built nothing: %+v", fs)
+	}
+	if fs.Waves < 2 {
+		t.Errorf("a multi-replica tree should take at least 2 waves: %+v", fs)
+	}
+	if col.Len() != tr.Len() {
+		t.Fatalf("served %d of %d", col.Len(), tr.Len())
+	}
+	// The function is pinned to node 0, so only stolen requests can reach the
+	// replicas — every replica's first service shows up as a fanout start.
+	if col.KindFractions()[metrics.StartFanout] == 0 {
+		t.Fatal("no request was served by a fan-out-built replica")
+	}
+
+	// The same burst without a tree drains serially through node 0's two
+	// slots; the tree's stolen requests must improve mean latency.
+	plain := cfg
+	plain.Fanout = fanout.Config{}
+	pcol, _ := runFanout(t, plain, fns, tr)
+	if pcol.Fanout.Trees != 0 {
+		t.Fatalf("fanout disabled but trees triggered: %+v", pcol.Fanout)
+	}
+	if col.MeanLatency() >= pcol.MeanLatency() {
+		t.Errorf("fan-out did not absorb the burst: mean %v with trees vs %v without",
+			col.MeanLatency(), pcol.MeanLatency())
+	}
+}
+
+// TestFanoutZeroFaultMatchesIndependentBaseline is the fixed-seed property
+// test: with no faults and a burst small enough to drain before any replica
+// completes, the pipelined tree and the serial independent baseline must
+// produce a byte-identical final warm set and byte-identical request metrics
+// — they build the same replicas, only donor scheduling differs — while the
+// tree reaches target warmth strictly sooner.
+func TestFanoutZeroFaultMatchesIndependentBaseline(t *testing.T) {
+	fns, tr := fanoutBurst(t, 6)
+	fc := fanout.Config{Threshold: 2, MaxRecipients: 6}
+	tcol, tsim := runFanout(t, fanoutConfig(fc), fns, tr)
+	fc.Independent = true
+	icol, isim := runFanout(t, fanoutConfig(fc), fns, tr)
+
+	if !reflect.DeepEqual(warmSet(tsim), warmSet(isim)) {
+		t.Errorf("final warm sets diverged:\ntree: %v\nindependent: %v",
+			warmSet(tsim), warmSet(isim))
+	}
+	tr1, tr2 := tcol.Records(), icol.Records()
+	if len(tr1) != len(tr2) {
+		t.Fatalf("record counts diverged: %d vs %d", len(tr1), len(tr2))
+	}
+	for i := range tr1 {
+		if tr1[i] != tr2[i] {
+			t.Fatalf("record %d diverged: %+v vs %+v", i, tr1[i], tr2[i])
+		}
+	}
+	if tcol.Faults != icol.Faults {
+		t.Errorf("fault stats diverged: %+v vs %+v", tcol.Faults, icol.Faults)
+	}
+	tf, ifs := tcol.Fanout, icol.Fanout
+	if tf.Trees != ifs.Trees || tf.TreesCompleted != ifs.TreesCompleted || tf.Recipients != ifs.Recipients {
+		t.Errorf("tree shapes diverged: %+v vs %+v", tf, ifs)
+	}
+	if tf.TreesCompleted != 1 || tf.Recipients != 6 {
+		t.Fatalf("tree did not complete its 6 recipients: %+v", tf)
+	}
+	if tf.TimeToWarm >= ifs.TimeToWarm {
+		t.Errorf("pipelined waves not faster than serial donation: %v vs %v",
+			tf.TimeToWarm, ifs.TimeToWarm)
+	}
+}
+
+func TestFanoutDonorCrashReparents(t *testing.T) {
+	fns, tr := fanoutBurst(t, 40)
+	cfg := fanoutConfig(fanout.Config{})
+	cfg.Faults = faults.Rates{FanoutCrash: 0.5}
+	col, _ := runFanout(t, cfg, fns, tr)
+
+	fs := col.Fanout
+	if fs.DonorCrashes == 0 {
+		t.Fatalf("rate-0.5 donor crashes never fired: %+v", fs)
+	}
+	if fs.Reparents == 0 {
+		t.Fatalf("donor crashes orphaned no one (or orphans were not re-parented): %+v", fs)
+	}
+	// Crashed donors may lose the request they were serving, but every burst
+	// request is either served or dropped within the retry budget.
+	if col.Len()+col.Faults.Dropped != tr.Len() {
+		t.Fatalf("served %d + dropped %d != %d arrivals", col.Len(), col.Faults.Dropped, tr.Len())
+	}
+	if fs.Recipients == 0 {
+		t.Fatalf("tree built nothing under donor crashes: %+v", fs)
+	}
+}
+
+func TestFanoutCorruptOutputQuarantinesDescendants(t *testing.T) {
+	fns, tr := fanoutBurst(t, 40)
+	cfg := fanoutConfig(fanout.Config{})
+	cfg.Faults = faults.Rates{Corrupt: 0.5}
+	col, _ := runFanout(t, cfg, fns, tr)
+
+	fs := col.Fanout
+	if fs.CorruptOutputs == 0 {
+		t.Fatalf("rate-0.5 corrupt outputs never fired: %+v", fs)
+	}
+	if fs.Quarantined == 0 {
+		t.Fatalf("corrupt donors quarantined no descendants: %+v", fs)
+	}
+	if col.Len() != tr.Len() {
+		t.Fatalf("corruption must not lose requests: served %d of %d", col.Len(), tr.Len())
+	}
+}
+
+func TestFanoutRunsAreDeterministic(t *testing.T) {
+	fns, tr := fanoutBurst(t, 40)
+	run := func() ([]metrics.Record, metrics.FanoutStats, metrics.FaultStats) {
+		cfg := fanoutConfig(fanout.Config{})
+		cfg.Faults = faults.Rates{FanoutCrash: 0.3, Corrupt: 0.3, Crash: 0.05}
+		col, _ := runFanout(t, cfg, fns, tr)
+		return col.Records(), col.Fanout, col.Faults
+	}
+	r1, fo1, fa1 := run()
+	r2, fo2, fa2 := run()
+	if fo1 != fo2 {
+		t.Fatalf("fanout stats diverged: %+v vs %+v", fo1, fo2)
+	}
+	if fa1 != fa2 {
+		t.Fatalf("fault stats diverged: %+v vs %+v", fa1, fa2)
+	}
+	if len(r1) != len(r2) {
+		t.Fatalf("record counts diverged: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("record %d diverged: %+v vs %+v", i, r1[i], r2[i])
+		}
+	}
+}
+
+// TestFanoutZeroConfigLeavesNoTrace pins compatibility: with the Fanout
+// config at its zero value a run is byte-identical to one built before the
+// feature existed (no stats, no extra randomness, no fanout-kind records).
+func TestFanoutZeroConfigLeavesNoTrace(t *testing.T) {
+	fns, tr := chaosTrace(t)
+	cfg := simulate.Config{
+		Policy: policy.Optimus{}, Nodes: 2, ContainersPerNode: 2, Seed: 5,
+		Faults: faults.Rates{Transform: 0.2, Crash: 0.1, Hang: 0.1},
+	}
+	col, _ := runFanout(t, cfg, fns, tr)
+	if col.Fanout.Any() {
+		t.Fatalf("zero config tallied fanout stats: %+v", col.Fanout)
+	}
+	if col.KindFractions()[metrics.StartFanout] != 0 {
+		t.Fatal("zero config produced fanout-kind records")
+	}
+}
+
+// TestHedgedStartExposedToLoadFaults is the satellite regression for the
+// load-fault injection gap: superviseHang assigns StartHedge before the
+// exposure check runs, and hedged recoveries load the model from scratch, so
+// they must be exposed to faults.Load like every other from-scratch start.
+func TestHedgedStartExposedToLoadFaults(t *testing.T) {
+	fns, tr := chaosTrace(t)
+	sim := simulate.New(simulate.Config{
+		Policy: policy.Optimus{}, Nodes: 1, ContainersPerNode: 2, Seed: 5,
+		Faults: faults.Rates{Hang: 0.4, Load: 1},
+		Hedge:  supervisor.HedgeConfig{Percentile: 90, MinSamples: 2},
+	}, fns)
+	col, err := sim.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hedge := 0
+	exposed := 0
+	for _, r := range col.Records() {
+		switch r.Kind {
+		case metrics.StartHedge:
+			hedge++
+			exposed++
+		case metrics.StartCold, metrics.StartFallback, metrics.StartTimeout, metrics.StartBreaker:
+			exposed++
+		}
+	}
+	if hedge == 0 {
+		t.Fatal("setup failed to produce hedged starts")
+	}
+	// Rate-1 load faults retry every exposed from-scratch load exactly once:
+	// if hedged starts bypassed injection, LoadRetries would fall short of
+	// the exposed-start count.
+	if col.Faults.LoadRetries < exposed {
+		t.Fatalf("LoadRetries = %d, want >= %d exposed starts (%d hedged)",
+			col.Faults.LoadRetries, exposed, hedge)
+	}
+}

@@ -66,6 +66,9 @@ func planShards(cfg Config, tr *workload.Trace) ([]shardPlan, string) {
 	if cfg.OnlineProfiling > 0 {
 		return nil, "online profiling couples the cost estimator across all requests"
 	}
+	if cfg.Fanout.Enabled {
+		return nil, "fan-out trees place replicas across all nodes"
+	}
 	if cfg.Health.Enabled {
 		return nil, "health tracking couples the cluster latency baseline across all nodes"
 	}
@@ -157,6 +160,13 @@ func addFaults(a, b metrics.FaultStats) metrics.FaultStats {
 	a.Hangs += b.Hangs
 	a.WatchdogCancels += b.WatchdogCancels
 	a.BreakerShortCircuits += b.BreakerShortCircuits
+	a.SlowWindows += b.SlowWindows
+	a.FlakyWindows += b.FlakyWindows
+	a.FlakyFallbacks += b.FlakyFallbacks
+	a.BandwidthWindows += b.BandwidthWindows
+	a.HedgedTransforms += b.HedgedTransforms
+	a.HedgeWins += b.HedgeWins
+	a.BackoffRetries += b.BackoffRetries
 	return a
 }
 
@@ -259,6 +269,7 @@ func RunSharded(cfg Config, fns []*Function, tr *workload.Trace, workers int) (*
 	for i, c := range cols {
 		total += c.Len()
 		merged.Faults = addFaults(merged.Faults, c.Faults)
+		merged.Fanout.Merge(c.Fanout)
 		report.TransformsVerified += sims[i].TransformsVerified
 		report.TransformsFailed += sims[i].TransformsFailed
 	}

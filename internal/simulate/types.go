@@ -46,6 +46,20 @@ type Container struct {
 	// dead marks a container destroyed by an injected crash or node
 	// outage; pending completion events for it are ignored.
 	dead bool
+	// fanoutFresh marks a replica just warmed by a fan-out transform tree;
+	// its first warm reuse is recorded as a StartFanout and clears the flag.
+	// fanoutBuilt persists for the container's lifetime: tree-built warmth
+	// serves the whole cluster, so whenever such a replica idles it may steal
+	// queued work from other nodes regardless of static placement.
+	fanoutFresh bool
+	fanoutBuilt bool
+	// crashPending marks a container whose current service was scheduled as a
+	// crash (its record is NOT committed yet — the crash event resolves the
+	// request). Every other serving container's record was committed at serve
+	// time, so paths that destroy containers mid-service re-dispatch the
+	// in-flight request only when crashPending is set; retrying a committed
+	// request would double-count it.
+	crashPending bool
 	// idxState is the routing index's view of the container (idx* constants);
 	// idxNone when the node's index is disabled.
 	idxState uint8

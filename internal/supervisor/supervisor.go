@@ -243,6 +243,10 @@ type WatchdogStats struct {
 	LeasesCompleted int
 	// LeasesExpired counts leases revoked by a crash or node outage.
 	LeasesExpired int
+	// WaveCancels counts fan-out children cancelled because they would have
+	// finished past their wave's virtual-time deadline (Factor× the expected
+	// fault-free child cost, anchored at the wave's first start).
+	WaveCancels int
 }
 
 // Watchdog bounds in-flight transform time and tracks per-container liveness
@@ -288,6 +292,16 @@ func (w *Watchdog) RecordCancel() {
 	}
 	w.mu.Lock()
 	w.stats.Cancelled++
+	w.mu.Unlock()
+}
+
+// RecordWaveCancel tallies one fan-out child cancelled at its wave deadline.
+func (w *Watchdog) RecordWaveCancel() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.stats.WaveCancels++
 	w.mu.Unlock()
 }
 

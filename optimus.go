@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/balancer"
 	"repro/internal/cost"
+	"repro/internal/fanout"
 	"repro/internal/faults"
 	"repro/internal/health"
 	"repro/internal/metaop"
@@ -56,6 +57,14 @@ type BackoffConfig = supervisor.BackoffConfig
 
 // HedgeConfig parameterizes hedged backup transforms for hung primaries.
 type HedgeConfig = supervisor.HedgeConfig
+
+// FanoutConfig parameterizes fault-tolerant fan-out transform trees (burst
+// absorption; see DESIGN.md). The zero value disables them.
+type FanoutConfig = fanout.Config
+
+// FanoutStats tallies a run's fan-out trees: replicas built, waves, donor
+// crashes, re-parents, quarantines, and time-to-target-warm.
+type FanoutStats = metrics.FanoutStats
 
 // Hardware selects the latency profile.
 type Hardware int
@@ -276,6 +285,9 @@ type SystemConfig struct {
 	// Hedge configures hedged backup transforms for hung primaries; a zero
 	// Percentile disables hedging.
 	Hedge HedgeConfig
+	// Fanout configures fault-tolerant fan-out transform trees for burst
+	// absorption; the zero value disables them.
+	Fanout FanoutConfig
 }
 
 // System is a serverless ML inference cluster: functions bound to models,
@@ -372,6 +384,7 @@ func (s *System) simConfig(trace *Trace) (simulate.Config, error) {
 		Health: s.cfg.Health,
 		Retry:  s.cfg.Retry,
 		Hedge:  s.cfg.Hedge,
+		Fanout: s.cfg.Fanout,
 	}, nil
 }
 
@@ -445,6 +458,27 @@ type Report struct {
 	// health tracking is disabled, and for RunSharded, which refuses to
 	// shard with health tracking on).
 	Health HealthSummary
+}
+
+// FanoutSummary renders the run's fan-out tree tallies, or "" when no tree
+// triggered.
+func (r *Report) FanoutSummary() string {
+	f := r.Fanout
+	if !f.Any() {
+		return ""
+	}
+	out := fmt.Sprintf(
+		"fanout: %d trees (%d completed), %d replicas in %d waves, warm in %v",
+		f.Trees, f.TreesCompleted, f.Recipients, f.Waves, f.TimeToWarm)
+	if f.DonorCrashes > 0 || f.Reparents > 0 || f.CorruptOutputs > 0 {
+		out += fmt.Sprintf(" | %d donor crashes (%d re-parents), %d corrupt (%d quarantined)",
+			f.DonorCrashes, f.Reparents, f.CorruptOutputs, f.Quarantined)
+	}
+	if f.WaveCancels > 0 || f.LoadFallbacks > 0 {
+		out += fmt.Sprintf(" | %d wave cancels, %d fallback loads",
+			f.WaveCancels, f.LoadFallbacks)
+	}
+	return out
 }
 
 // FaultSummary renders the run's failure/recovery tallies, or "" when no
