@@ -198,6 +198,11 @@ func (q Quarantine) Empty() bool { return len(q.Removed) == 0 && len(q.Cancelled
 
 // CompleteResult reports what a child completion triggered.
 type CompleteResult struct {
+	// Completed reports the member actually transitioned out of StateBuilding
+	// here. False means the call was a stale no-op — the child was re-parented,
+	// cancelled, quarantined or diverted since the completion was scheduled —
+	// and the caller must not treat the member as warm.
+	Completed bool
 	// Swept holds the members quarantined by the wave-boundary sweep (or the
 	// final audit) that this completion closed.
 	Swept Quarantine
@@ -502,6 +507,7 @@ func (t *Tree) Complete(child int, now time.Duration, corrupt bool) CompleteResu
 	} else {
 		m.State = StateWarm
 	}
+	res.Completed = true
 	t.stats.Recipients++
 	if m.Wave >= 0 {
 		t.waveOpen[m.Wave]--
@@ -615,6 +621,10 @@ func (t *Tree) checkDoneLocked(now time.Duration, res *CompleteResult) {
 func (t *Tree) DonorLost(donor int, eligible func(member, node int) bool, injected bool) []Reparent {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.donorLostLocked(donor, eligible, injected)
+}
+
+func (t *Tree) donorLostLocked(donor int, eligible func(member, node int) bool, injected bool) []Reparent {
 	d := t.members[donor]
 	if d.State != StateWarm && d.State != StatePoisoned {
 		return nil
@@ -737,14 +747,14 @@ func (t *Tree) RecipientLost(child int) {
 // forwards in that case.
 func (t *Tree) MemberLost(member int, eligible func(member, node int) bool) []Reparent {
 	t.mu.Lock()
-	inflight := t.members[member].inflight
-	t.mu.Unlock()
-	if inflight > 0 {
-		return t.DonorLost(member, eligible, false)
-	}
-	t.mu.Lock()
 	defer t.mu.Unlock()
 	m := t.members[member]
+	// The inflight check and the state transition share one critical section:
+	// a concurrent attach between a dropped-and-retaken lock could leave an
+	// in-flight child streaming from a member already marked dead.
+	if m.inflight > 0 {
+		return t.donorLostLocked(member, eligible, false)
+	}
 	if m.State == StateWarm || m.State == StatePoisoned {
 		m.State = StateDead
 	}

@@ -264,6 +264,38 @@ func TestToFallbackCutsLineageAndCounts(t *testing.T) {
 	}
 }
 
+// TestStaleCompleteAfterReparentRefused pins the parked-orphan hole: when a
+// donor dies and no healthy member can adopt the orphan, the completion
+// scheduled for the dead donation must not be able to promote the still-parked
+// child — Complete reports Completed=false and changes nothing.
+func TestStaleCompleteAfterReparentRefused(t *testing.T) {
+	tr := New(Config{Bandwidth: 1, MaxRecipients: 2}, "fn", 2, 0)
+	seed := tr.AddSeed(0)
+	child, _, ok := tr.StartRecipient([]int{0, 1})
+	if !ok {
+		t.Fatal("recipient refused")
+	}
+	if a, ok := tr.StructDone(child, nil); !ok || a.Donor != seed {
+		t.Fatalf("expected seed donation, got %+v ok=%v", a, ok)
+	}
+	rep := tr.DonorLost(seed, nil, true)
+	if len(rep) != 1 || rep[0].Child != child || rep[0].NewDonor != -1 {
+		t.Fatalf("orphan should park with no adopter, got %+v", rep)
+	}
+	// The completion event scheduled for the dead donation fires anyway (the
+	// engine drops it by generation; the tree must also refuse it).
+	res := tr.Complete(child, time.Second, false)
+	if res.Completed || res.TreeDone || !res.Swept.Empty() {
+		t.Fatalf("stale completion was accepted: %+v", res)
+	}
+	if m := tr.Members()[child]; m.State != StateBuilding || m.phase != phasePending {
+		t.Fatalf("parked orphan mutated by stale completion: state=%s phase=%d", m.State, m.phase)
+	}
+	if st := tr.Stats(); st.Recipients != 0 {
+		t.Fatalf("stale completion tallied a recipient: %+v", st)
+	}
+}
+
 func TestTwoRunsAreIdentical(t *testing.T) {
 	run := func() ([]Member, time.Duration) {
 		tr := New(Config{Bandwidth: 2, MaxRecipients: 16}, "fn", 16, 0)

@@ -281,6 +281,10 @@ func (s *Simulator) reconcileFanout(run *fanoutRun) {
 		}
 		run.gens[m.ID]++
 		for _, r := range run.tree.MemberLost(m.ID, s.fanoutEligible(run)) {
+			// The orphan's completion event for the dead donation is stale
+			// whether or not a new donor was found — a parked orphan in
+			// particular must not let it fire and fake a warm replica.
+			run.gens[r.Child]++
 			if r.NewDonor >= 0 {
 				s.scheduleDonation(run, fanout.Assignment{
 					Child: r.Child, Donor: r.NewDonor, DonorNode: r.NewDonorNode,
@@ -436,6 +440,12 @@ func (s *Simulator) fanoutDone(ev event) {
 	}
 	name := run.fr.fn.Name
 	res := run.tree.Complete(ev.member, s.clock, ev.foCorrupt)
+	if !res.Completed {
+		// The tree refused the completion: the member was re-parented,
+		// cancelled or quarantined since this event was scheduled. Drop the
+		// event without promoting the container — it is still mid-build.
+		return
+	}
 	removedSelf := false
 	for _, id := range res.Swept.Removed {
 		if id == ev.member {
@@ -496,6 +506,10 @@ func (s *Simulator) fanoutCrash(ev event) {
 	s.health.ObserveFailure(node.ID, s.clock)
 	s.breaker.RecordFailure(name, name, s.clock)
 	for _, r := range run.tree.DonorLost(ev.member, s.fanoutEligible(run), true) {
+		// The orphan's completion event for the dead donation is stale whether
+		// or not a new donor was found; bump the generation so it dies at fire
+		// time instead of faking a warm replica out of a parked child.
+		run.gens[r.Child]++
 		if r.NewDonor >= 0 {
 			s.scheduleDonation(run, fanout.Assignment{
 				Child: r.Child, Donor: r.NewDonor, DonorNode: r.NewDonorNode,

@@ -1,0 +1,121 @@
+package simulate
+
+// Whitebox regression tests for the fan-out event-generation protocol: the
+// paths that park an orphan (donor crashed, no healthy adopter free) must
+// invalidate the completion event scheduled for the dead donation, and
+// fanoutDone must refuse a completion the tree did not actually apply.
+
+import (
+	"testing"
+
+	"repro/internal/fanout"
+	"repro/internal/zoo"
+)
+
+// fanoutParkedOrphan builds a simulator mid-crash: childA streams from seed0,
+// childB saturates seed1's single outbound stream, then seed0 crashes. seed1
+// is healthy but has no free stream, so childA's orphan parks with no adopter
+// — the exact shape whose stale completion used to fire.
+func fanoutParkedOrphan(t *testing.T) (*Simulator, *fanoutRun, int, int) {
+	t.Helper()
+	g, err := zoo.Imgclsmob().Get("resnet18-imagenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := &Function{Name: "resnet18-imagenet", Model: g}
+	// Policy stays nil: the fan-out paths under test never consult it.
+	s := New(Config{
+		Nodes: 2, ContainersPerNode: 3,
+		Fanout: fanout.Config{Enabled: true, Bandwidth: 1, Threshold: 1, MaxRecipients: 2},
+	}, []*Function{fn})
+	fr := s.rt(fn)
+	run := &fanoutRun{
+		fr:   fr,
+		ctrs: make(map[int]*Container),
+		home: make(map[int]*Node),
+		gens: make(map[int]int),
+	}
+	b := s.env.Profile.ModelLoad(fn.Model)
+	run.structDur = s.env.Profile.SandboxInit + b.Structure
+	run.weightsDur = b.Weights
+	run.fallbackDur = b.Deserialize + b.Weights
+	run.tree = fanout.New(s.cfg.Fanout, fn.Name, 2, 0)
+	s.fanouts = map[string]*fanoutRun{fn.Name: run}
+
+	n0, n1 := s.nodes[0], s.nodes[1]
+	addSeed := func(n *Node) int {
+		c := n.newContainer(fn, s.env.GrantFor(fn), 0)
+		c.LastDone = 1 // completed a request: seedable
+		id := run.tree.AddSeed(n.ID)
+		run.ctrs[id] = c
+		run.home[id] = n
+		return id
+	}
+	seed0 := addSeed(n0)
+	addSeed(n1)
+
+	startChild := func(n *Node) int {
+		child, nodeID, ok := run.tree.StartRecipient([]int{n.ID})
+		if !ok || nodeID != n.ID {
+			t.Fatalf("recipient refused on node %d", n.ID)
+		}
+		s.startFanoutRecipient(run, child, n)
+		a, ok := run.tree.StructDone(child, s.fanoutEligible(run))
+		if !ok {
+			t.Fatalf("child %d found no donor", child)
+		}
+		s.scheduleDonation(run, a)
+		return child
+	}
+	childA := startChild(n0) // streams from seed0
+	startChild(n1)           // streams from seed1, saturating its bandwidth
+
+	staleGen := run.gens[childA]
+	s.clock = run.weightsDur / 2
+	s.fanoutCrash(event{at: s.clock, node: n0, c: run.ctrs[seed0],
+		fo: run, member: seed0, gen: run.gens[seed0]})
+	if st := run.tree.Members()[childA].State; st != fanout.StateBuilding {
+		t.Fatalf("orphan should stay building (parked), got %s", st)
+	}
+	return s, run, childA, staleGen
+}
+
+// assertHeld fails when the orphan's container was promoted out of its build
+// hold — the corruption the generation protocol exists to prevent.
+func assertHeld(t *testing.T, s *Simulator, run *fanoutRun, child int) {
+	t.Helper()
+	c := run.ctrs[child]
+	if c.fanoutFresh || c.fanoutBuilt {
+		t.Fatal("parked orphan's container was marked as a completed replica")
+	}
+	if !c.Busy(s.clock + run.weightsDur) {
+		t.Fatal("parked orphan's build hold was released")
+	}
+	if st := run.tree.Members()[child].State; st != fanout.StateBuilding {
+		t.Fatalf("parked orphan left building state: %s", st)
+	}
+}
+
+func TestFanoutCrashInvalidatesParkedOrphanEvent(t *testing.T) {
+	s, run, childA, staleGen := fanoutParkedOrphan(t)
+	if run.gens[childA] == staleGen {
+		t.Fatal("donor crash left the parked orphan's generation unbumped")
+	}
+	// Deliver the completion event scheduled for the dead donation anyway: it
+	// must die at the generation check without touching the container.
+	s.clock = run.weightsDur
+	s.fanoutDone(event{at: s.clock, node: run.home[childA], c: run.ctrs[childA],
+		fo: run, member: childA, gen: staleGen})
+	assertHeld(t, s, run, childA)
+}
+
+func TestFanoutDoneRefusesUnappliedCompletion(t *testing.T) {
+	s, run, childA, _ := fanoutParkedOrphan(t)
+	// Defense in depth behind the generation check: even an event carrying the
+	// current generation must not promote a child the tree refuses to
+	// complete (it is parked, not streaming).
+	s.clock = run.weightsDur
+	s.fanoutDone(event{at: s.clock, node: run.home[childA], c: run.ctrs[childA],
+		fo: run, member: childA, gen: run.gens[childA]})
+	assertHeld(t, s, run, childA)
+}

@@ -186,6 +186,50 @@ func TestFanoutCorruptOutputQuarantinesDescendants(t *testing.T) {
 	}
 }
 
+// TestFanoutEveryDonationCrashesDonor drives the parked-orphan path hard:
+// with rate-1 FanoutCrash every donation kills its donor mid-stream, so
+// orphans routinely find no healthy adopter and park. The completion event
+// scheduled for the dead donation must die by generation instead of promoting
+// the parked child into service — the regression symptom was a double-built
+// replica whose second completion truncated an in-flight service.
+func TestFanoutEveryDonationCrashesDonor(t *testing.T) {
+	fns, tr := fanoutBurst(t, 40)
+	run := func() (*metrics.Collector, metrics.FanoutStats) {
+		cfg := fanoutConfig(fanout.Config{})
+		cfg.Faults = faults.Rates{FanoutCrash: 1}
+		col, _ := runFanout(t, cfg, fns, tr)
+		return col, col.Fanout
+	}
+	col, fs := run()
+	if fs.DonorCrashes == 0 {
+		t.Fatalf("rate-1 donor crashes never fired: %+v", fs)
+	}
+	if fs.Recipients == 0 {
+		t.Fatalf("tree built nothing under total donor loss: %+v", fs)
+	}
+	// Every donation crashing its donor means progress comes from fallback
+	// loads once the healthy-member pool drains.
+	if fs.LoadFallbacks == 0 {
+		t.Fatalf("stranded orphans never diverted to fallbacks: %+v", fs)
+	}
+	if col.Len()+col.Faults.Dropped != tr.Len() {
+		t.Fatalf("served %d + dropped %d != %d arrivals", col.Len(), col.Faults.Dropped, tr.Len())
+	}
+	col2, fs2 := run()
+	if fs != fs2 {
+		t.Fatalf("fanout stats diverged across runs: %+v vs %+v", fs, fs2)
+	}
+	r1, r2 := col.Records(), col2.Records()
+	if len(r1) != len(r2) {
+		t.Fatalf("record counts diverged: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("record %d diverged: %+v vs %+v", i, r1[i], r2[i])
+		}
+	}
+}
+
 func TestFanoutRunsAreDeterministic(t *testing.T) {
 	fns, tr := fanoutBurst(t, 40)
 	run := func() ([]metrics.Record, metrics.FanoutStats, metrics.FaultStats) {
