@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt lint test race bench bench-scale bench-soak bench-recovery bench-fanout microbench benchguard scaleguard soakguard recoveryguard fanoutguard fuzz check
+.PHONY: build vet fmt lint test race bench bench-scale bench-stream bench-soak bench-recovery bench-fanout microbench benchguard scaleguard streamguard soakguard recoveryguard fanoutguard fuzz check
 
 build:
 	$(GO) build ./...
@@ -35,10 +35,17 @@ bench:
 	$(GO) run ./cmd/optimus-bench bench
 
 # bench-scale runs the simulator hot-path scaling benchmark (1M-request
-# trace, serial/scan vs indexed vs sharded) and leaves BENCH_sim_scale.json
-# in the repo root.
+# trace, serial/scan vs indexed vs sharded, plus the constant-memory
+# streaming section at 10M requests) and leaves BENCH_sim_scale.json in the
+# repo root.
 bench-scale:
-	$(GO) run ./cmd/optimus-bench scale
+	$(GO) run ./cmd/optimus-bench -stream scale
+
+# bench-stream replays >= 10M requests through the streaming engine under a
+# hard peak-heap ceiling (sampled via runtime.MemStats); on failure the test
+# prints the heaviest allocation sites from the runtime alloc profile.
+bench-stream:
+	$(GO) test -run '^TestStreamCeiling$$' -v ./internal/experiments -stream-ceiling=true
 
 # bench-soak runs the chaos-soak experiment (baseline vs resilient under
 # mixed hard/gray faults) and leaves BENCH_soak.json in the repo root.
@@ -73,6 +80,13 @@ benchguard:
 scaleguard:
 	$(GO) test -run 'TestScale' ./internal/experiments
 
+# streamguard validates the streaming section of BENCH_sim_scale.json
+# (10M+-request point, allocs/req at or below the sharded path, peak heap
+# within 1.5x of the 10x-smaller baseline, streaming==materialized and
+# windowed==serial equalities) and replays a streaming smoke end to end.
+streamguard:
+	$(GO) test -run 'TestStream' ./internal/experiments
+
 # soakguard validates the checked-in BENCH_soak.json (byte-identical
 # same-seed reruns, resilient hit ratio ≥ the bounded-retry baseline's) and
 # replays a quick chaos-soak smoke end to end.
@@ -91,13 +105,14 @@ recoveryguard:
 fanoutguard:
 	$(GO) test -run 'TestFanout' ./internal/experiments
 
-# fuzz runs a short native-fuzzing smoke over the plan executor and the
-# lint-directive parser.
+# fuzz runs a short native-fuzzing smoke over the plan executor, the
+# lint-directive parser, and the Azure-trace CSV reader.
 fuzz:
 	$(GO) test -fuzz='^FuzzPlanApply$$' -fuzztime=10s -run '^$$' ./internal/planner
 	$(GO) test -fuzz='^FuzzDirectiveParse$$' -fuzztime=10s -run '^$$' ./internal/analysis
+	$(GO) test -fuzz='^FuzzAzureCSV$$' -fuzztime=10s -run '^$$' ./internal/workload
 
 # check is the pre-merge gate: formatting, static analysis (go vet plus the
 # project linter), a full build, the test suite under the race detector (the
 # gateway stress test needs it), and the benchmark regression guards.
-check: fmt vet lint build race benchguard scaleguard soakguard recoveryguard fanoutguard
+check: fmt vet lint build race benchguard scaleguard streamguard soakguard recoveryguard fanoutguard

@@ -37,6 +37,9 @@ func main() {
 		planWrk = flag.Int("plan-workers", 0, "parallel planning workers for the bench experiment (0 = GOMAXPROCS)")
 		scaleN  = flag.Int("scale-requests", 0, "trace size for the scale experiment (0 = 1M, or 50k with -quick)")
 		shards  = flag.Int("replay-shards", 0, "parallel replay workers for the scale experiment (0 = one per node group)")
+		stream  = flag.Bool("stream", false, "add the constant-memory streaming section to the scale experiment")
+		streamN = flag.Int("stream-requests", 0, "streaming replay size for scale -stream (0 = 10M, or 500k with -quick)")
+		windows = flag.Int("replay-windows", 0, "time windows for the windowed streaming replay (0 = 32)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -202,6 +205,10 @@ func main() {
 			out, result = r.Render(), r
 		case "scale":
 			r := experiments.Scale(o, *scaleN, 0, *shards)
+			if *stream {
+				s := experiments.StreamScale(o, *streamN, 0, *windows, *shards)
+				r.Stream = &s
+			}
 			if err := r.WriteFile(*outDir); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)

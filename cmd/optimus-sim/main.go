@@ -62,6 +62,7 @@ func main() {
 	ff := cliutil.RegisterFaultFlags(flag.CommandLine, false)
 	rf := cliutil.RegisterResilienceFlags(flag.CommandLine)
 	fo := cliutil.RegisterFanoutFlags(flag.CommandLine)
+	rp := cliutil.RegisterReplayFlags(flag.CommandLine)
 	flag.Parse()
 
 	if err := cliutil.ValidateProbs(map[string]float64{"-transform-failures": *failRate}); err != nil {
@@ -77,6 +78,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := fo.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := rp.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -227,6 +232,42 @@ func main() {
 		os.Exit(1)
 	}
 	start := time.Now()
+	if rp.Streaming() {
+		// Streaming replay keeps no per-request records: the summary is
+		// mergeable aggregates plus sketched percentiles. -replay-shards
+		// doubles as the windowed-replay worker bound.
+		var srep *optimus.StreamReport
+		if w := *rp.Windows; w > 0 {
+			srep, err = sys.RunWindowed(trace, w, *shards)
+		} else {
+			srep, err = sys.RunStream(trace)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simulation failed:", err)
+			os.Exit(1)
+		}
+		if ws := srep.WindowSummary(); ws != "" {
+			fmt.Println(ws)
+		}
+		fmt.Println(srep.Summary())
+		if fs := srep.FaultSummary(); fs != "" {
+			fmt.Println(fs)
+		}
+		br := srep.Metrics.MeanBreakdown()
+		fmt.Printf("mean breakdown: wait %v, init %v, load %v, compute %v\n", br.Wait, br.Init, br.Load, br.Compute)
+		if *verify {
+			fmt.Printf("transformations executed & verified: %d\n", srep.Verified)
+		}
+		if *perFn > 0 {
+			fmt.Println("per-function stats unavailable in streaming mode (no records retained)")
+		}
+		fmt.Printf("simulated %v of cluster time in %v\n", *horizon, time.Since(start).Round(time.Millisecond))
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	var rep *optimus.Report
 	if *shards == 1 {
 		rep, err = sys.Run(trace)

@@ -62,6 +62,10 @@ type ScaleBench struct {
 	// serial replay's.
 	IndexedMatchesScan   bool `json:"indexed_matches_scan"`
 	ShardedMatchesSerial bool `json:"sharded_matches_serial"`
+
+	// Stream, when present, is the constant-memory streaming replay section
+	// (`optimus-bench scale -stream`); see StreamScale.
+	Stream *StreamScaleBench `json:"stream,omitempty"`
 }
 
 // scaleFixture is the synthetic cluster: `groups` disjoint node groups of
@@ -72,10 +76,31 @@ type scaleFixture struct {
 	trace *workload.Trace
 }
 
+// scaleSpec is scaleFixture without the materialized trace: the rate table
+// and horizon let streaming benchmarks feed the simulator straight from lazy
+// generators, so trace size never touches memory.
+type scaleSpec struct {
+	cfg     simulate.Config
+	fns     []*simulate.Function
+	rates   map[string]float64
+	horizon time.Duration
+}
+
 // scaleCluster builds the fixture: functions cycle the quick model catalog
 // (so planning stays cheap and start kinds mix), and Poisson rates are tuned
 // to land near the requested trace size.
 func scaleCluster(o Options, requests, groups int) scaleFixture {
+	spec := scaleClusterSpec(o, requests, groups)
+	return scaleFixture{
+		cfg:   spec.cfg,
+		fns:   spec.fns,
+		trace: workload.PoissonRates(spec.rates, spec.horizon, o.Seed),
+	}
+}
+
+// scaleClusterSpec builds the cluster and rate table without materializing
+// the trace.
+func scaleClusterSpec(o Options, requests, groups int) scaleSpec {
 	// Scan cost grows with the group's live container population, index cost
 	// does not. The population here comes from keep-alive bloat — the
 	// many-functions-few-invocations shape serverless ML deployments actually
@@ -108,7 +133,7 @@ func scaleCluster(o Options, requests, groups int) scaleFixture {
 		// repurposing and cold starts all occur.
 		rates[name] = perFnRate * (0.25 + 1.5*float64(i%8)/7)
 	}
-	return scaleFixture{
+	return scaleSpec{
 		cfg: simulate.Config{
 			Nodes:             groups * nodesPerGroup,
 			ContainersPerNode: containersPerNode,
@@ -117,8 +142,9 @@ func scaleCluster(o Options, requests, groups int) scaleFixture {
 			Placement:         placement,
 			Seed:              o.Seed,
 		},
-		fns:   fns,
-		trace: workload.PoissonRates(rates, horizon, o.Seed),
+		fns:     fns,
+		rates:   rates,
+		horizon: horizon,
 	}
 }
 
@@ -303,7 +329,7 @@ func (r ScaleBench) Render() string {
 		}
 		return "MISMATCH"
 	}
-	return fmt.Sprintf(`Simulator scale benchmark (seed %d)
+	out := fmt.Sprintf(`Simulator scale benchmark (seed %d)
 %d requests, %d functions, %d nodes in %d groups (%s, %d workers)
   serial/scan  %8.1f ms   %6.1f allocs/req
   indexed      %8.1f ms   %6.1f allocs/req   (%.2fx vs scan, records %s)
@@ -314,4 +340,8 @@ func (r ScaleBench) Render() string {
 		r.IndexedMS, r.IndexedAllocsPerReq, r.SpeedupIndexed, okStr(r.IndexedMatchesScan),
 		r.ShardedMS, r.ShardedAllocsPerReq, r.SpeedupSharded, okStr(r.ShardedMatchesSerial),
 		r.SpeedupTotal)
+	if r.Stream != nil {
+		out += "\n" + r.Stream.Render()
+	}
+	return out
 }

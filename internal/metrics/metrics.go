@@ -224,10 +224,17 @@ type Collector struct {
 	// valid only while sortedOK holds (invalidated by Add and RestoreFrom).
 	sorted   []time.Duration
 	sortedOK bool
+	// stream, when set by StreamInto, diverts Adds into a constant-memory
+	// Summary instead of the record slice.
+	stream *Summary
 }
 
-// Add appends a record.
+// Add appends a record (or, in streaming mode, folds it into the summary).
 func (c *Collector) Add(r Record) {
+	if c.stream != nil {
+		c.stream.Observe(r)
+		return
+	}
 	c.records = append(c.records, r)
 	c.latSum += r.Latency()
 	if int(r.Kind) < int(startKindCount) {
@@ -238,9 +245,10 @@ func (c *Collector) Add(r Record) {
 
 // Reserve grows the record store to hold n total records without further
 // reallocation; replay engines call it with the trace length so million-
-// request runs don't pay append-doubling copies.
+// request runs don't pay append-doubling copies. A no-op in streaming mode,
+// which retains no records at all.
 func (c *Collector) Reserve(n int) {
-	if n <= cap(c.records) {
+	if c.stream != nil || n <= cap(c.records) {
 		return
 	}
 	grown := make([]Record, len(c.records), n)

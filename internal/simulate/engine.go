@@ -133,6 +133,11 @@ type Config struct {
 	// every dispatch and panics on the first divergence. Debug/test only:
 	// it pays both routers' cost.
 	CrossCheckRouting bool
+	// CrossCheckWindows makes RunWindowed keep a second, fully serial
+	// simulator in lockstep and compare every window's record multiset,
+	// panicking on the first divergence. Debug/test only: it pays the serial
+	// run's full cost and retains records, forfeiting constant memory.
+	CrossCheckWindows bool
 }
 
 // memoryMode derives the allocation mode from the config.
@@ -471,22 +476,7 @@ func (s *Simulator) Run(trace *workload.Trace) (*metrics.Collector, error) {
 			s.arrive(a.fr, a.at)
 			continue
 		}
-		ev := s.events.pop()
-		s.clock = ev.at
-		switch ev.kind {
-		case evDispatch:
-			s.dispatch(ev.fr, ev.arrival, ev.retries)
-		case evComplete:
-			s.complete(ev.node, ev.c)
-		case evCrash:
-			s.crash(ev.node, ev.c)
-		case evFanoutStruct:
-			s.fanoutStruct(ev)
-		case evFanoutDone:
-			s.fanoutDone(ev)
-		case evFanoutCrash:
-			s.fanoutCrash(ev)
-		}
+		s.step(s.events.pop())
 	}
 	// Trees that never reached their target (capacity-starved, donors all
 	// lost, or the trace simply ended) still report what they did.
@@ -494,6 +484,69 @@ func (s *Simulator) Run(trace *workload.Trace) (*metrics.Collector, error) {
 		s.mergeFanout(run)
 	}
 	return &s.collector, nil
+}
+
+// step advances the clock to the event and fires it.
+func (s *Simulator) step(ev event) {
+	s.clock = ev.at
+	switch ev.kind {
+	case evDispatch:
+		s.dispatch(ev.fr, ev.arrival, ev.retries)
+	case evComplete:
+		s.complete(ev.node, ev.c)
+	case evCrash:
+		s.crash(ev.node, ev.c)
+	case evFanoutStruct:
+		s.fanoutStruct(ev)
+	case evFanoutDone:
+		s.fanoutDone(ev)
+	case evFanoutCrash:
+		s.fanoutCrash(ev)
+	}
+}
+
+// RunStream replays requests pulled lazily from src — the constant-memory
+// twin of Run: no arrivals slice is materialized, and the collector runs in
+// streaming mode, folding every record into a mergeable Summary instead of
+// retaining it. Memory is bounded by cluster state (nodes, containers,
+// in-flight events), independent of trace length.
+//
+// The arrival/event interleaving matches Run exactly: at equal timestamps
+// arrivals fire before engine events. src must yield requests in
+// nondecreasing timestamp order (any Stream or Trace.Cursor qualifies);
+// out-of-order input or an unknown function name is an error.
+func (s *Simulator) RunStream(src workload.Cursor) (*metrics.Summary, error) {
+	sum := &metrics.Summary{}
+	s.collector.StreamInto(sum)
+	if !s.cfg.RouteScan || s.cfg.CrossCheckRouting {
+		s.enableIndex()
+	}
+	req, ok := src.Next()
+	var last time.Duration
+	for ok || len(s.events) > 0 {
+		if ok && (len(s.events) == 0 || req.At <= s.events[0].at) {
+			if req.At < last {
+				return nil, fmt.Errorf("simulate: stream out of order: %v after %v", req.At, last)
+			}
+			last = req.At
+			fn, known := s.fns[req.Function]
+			if !known {
+				return nil, fmt.Errorf("simulate: trace references unknown function %q", req.Function)
+			}
+			fr := s.rt(fn)
+			s.clock = req.At
+			s.arrive(fr, req.At)
+			req, ok = src.Next()
+			continue
+		}
+		s.step(s.events.pop())
+	}
+	for _, run := range s.fanoutLog {
+		s.mergeFanout(run)
+	}
+	sum.Faults.Merge(s.collector.Faults)
+	sum.Fanout.Merge(s.collector.Fanout)
+	return sum, nil
 }
 
 type eventKind uint8

@@ -149,27 +149,6 @@ func planShards(cfg Config, tr *workload.Trace) ([]shardPlan, string) {
 	return shards, ""
 }
 
-// addFaults sums fault tallies field-wise.
-func addFaults(a, b metrics.FaultStats) metrics.FaultStats {
-	a.TransformFallbacks += b.TransformFallbacks
-	a.LoadRetries += b.LoadRetries
-	a.Crashes += b.Crashes
-	a.Outages += b.Outages
-	a.Retries += b.Retries
-	a.Dropped += b.Dropped
-	a.Hangs += b.Hangs
-	a.WatchdogCancels += b.WatchdogCancels
-	a.BreakerShortCircuits += b.BreakerShortCircuits
-	a.SlowWindows += b.SlowWindows
-	a.FlakyWindows += b.FlakyWindows
-	a.FlakyFallbacks += b.FlakyFallbacks
-	a.BandwidthWindows += b.BandwidthWindows
-	a.HedgedTransforms += b.HedgedTransforms
-	a.HedgeWins += b.HedgeWins
-	a.BackoffRetries += b.BackoffRetries
-	return a
-}
-
 // RunSharded replays the trace like New(cfg, fns).Run(tr), splitting it into
 // per-node-group shards replayed concurrently on up to `workers` goroutines
 // when the placement permits (workers <= 0 means GOMAXPROCS; workers == 1
@@ -268,7 +247,7 @@ func RunSharded(cfg Config, fns []*Function, tr *workload.Trace, workers int) (*
 	merged := &metrics.Collector{}
 	for i, c := range cols {
 		total += c.Len()
-		merged.Faults = addFaults(merged.Faults, c.Faults)
+		merged.Faults.Merge(c.Faults)
 		merged.Fanout.Merge(c.Fanout)
 		report.TransformsVerified += sims[i].TransformsVerified
 		report.TransformsFailed += sims[i].TransformsFailed

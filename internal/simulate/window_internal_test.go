@@ -1,0 +1,128 @@
+package simulate
+
+// Whitebox oracle-divergence tests: corrupt one partition worker's window
+// results (or the shared cluster state it just produced) through the
+// windowCorruptHook seam and assert the CrossCheckWindows serial oracle
+// catches the divergence loudly instead of letting it merge silently.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+	"repro/internal/zoo"
+)
+
+// winTestPolicy is a minimal warm-or-cold policy so the corruption tests run
+// without importing the policy package (which imports simulate).
+type winTestPolicy struct{}
+
+func (winTestPolicy) Name() string { return "win-test" }
+
+func (winTestPolicy) Serve(env *Env, n *Node, fn *Function, now time.Duration) (Decision, bool) {
+	if c := n.WarmIdle(fn, now); c != nil {
+		return Decision{Kind: metrics.StartWarm, Reuse: c}, true
+	}
+	if !n.CanPlace(now) {
+		return Decision{}, false
+	}
+	return Decision{
+		Kind: metrics.StartCold,
+		Init: env.Profile.SandboxInit,
+		Load: env.Profile.ModelLoad(fn.Model).Total(),
+	}, true
+}
+
+// windowTestFixture builds four functions split across two node pairs with
+// steady traffic, a placement the windowed engine parallelizes.
+func windowTestFixture(t *testing.T) (Config, []*Function, map[string]float64) {
+	t.Helper()
+	g, err := zoo.Imgclsmob().Get("resnet18-imagenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"win-a", "win-b", "win-c", "win-d"}
+	fns := make([]*Function, len(names))
+	rates := map[string]float64{}
+	placement := map[string][]int{}
+	for i, n := range names {
+		fns[i] = &Function{Name: n, Model: g}
+		rates[n] = 0.05
+		if i < 2 {
+			placement[n] = []int{0, 1}
+		} else {
+			placement[n] = []int{2, 3}
+		}
+	}
+	cfg := Config{
+		Policy: winTestPolicy{}, Nodes: 4, ContainersPerNode: 3,
+		Placement: placement, Seed: 3,
+		CrossCheckWindows: true,
+	}
+	return cfg, fns, rates
+}
+
+// expectDivergencePanic runs a windowed replay and requires the oracle panic.
+func expectDivergencePanic(t *testing.T, cfg Config, fns []*Function, rates map[string]float64) {
+	t.Helper()
+	dur := 2 * time.Hour
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("corrupted window state merged silently: the cross-check oracle never fired")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "windowed replay divergence") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	_, _, _ = RunWindowed(cfg, fns, workload.StreamPoissonRates(rates, dur, 11), dur, 16, 4)
+}
+
+// TestWindowCorruptRecordCaught flips one bit of one partition's record
+// output; the very next multiset comparison must panic.
+func TestWindowCorruptRecordCaught(t *testing.T) {
+	cfg, fns, rates := windowTestFixture(t)
+	corrupted := false
+	windowCorruptHook = func(window, group int, w *Simulator) {
+		if corrupted {
+			return
+		}
+		if recs := w.collector.Records(); len(recs) > 0 {
+			recs[0].Wait += time.Nanosecond
+			corrupted = true
+		}
+	}
+	defer func() { windowCorruptHook = nil }()
+	expectDivergencePanic(t, cfg, fns, rates)
+	if !corrupted {
+		t.Fatal("hook never found a record to corrupt")
+	}
+}
+
+// TestWindowCorruptStateCaught corrupts shared cluster state instead of
+// records — every container on the corrupting worker's view is pinned busy
+// for an extra virtual hour, so later windows route differently than the
+// oracle. The divergence surfaces windows later; it must still panic.
+func TestWindowCorruptStateCaught(t *testing.T) {
+	cfg, fns, rates := windowTestFixture(t)
+	corrupted := false
+	windowCorruptHook = func(window, group int, w *Simulator) {
+		if corrupted || group != 0 {
+			return
+		}
+		for _, n := range w.nodes {
+			for _, c := range n.Containers {
+				c.BusyUntil += time.Hour
+				corrupted = true
+			}
+		}
+	}
+	defer func() { windowCorruptHook = nil }()
+	expectDivergencePanic(t, cfg, fns, rates)
+	if !corrupted {
+		t.Fatal("hook never found a container to corrupt")
+	}
+}

@@ -23,7 +23,26 @@ import (
 // This repository ships a synthetic Azure-like generator (AzureLike) because
 // the production trace is proprietary; whoever has the dataset feeds it in
 // here and replays it unchanged.
+//
+// Expansion is bounded by DefaultAzureRequestLimit; a file expanding past it
+// is an error, never an OOM. Use ReadAzureInvocationsCSVLimit to raise it.
 func ReadAzureInvocationsCSV(r io.Reader) (*Trace, error) {
+	return ReadAzureInvocationsCSVLimit(r, DefaultAzureRequestLimit)
+}
+
+// DefaultAzureRequestLimit bounds how many arrivals ReadAzureInvocationsCSV
+// will expand a file into before giving up: a day of the published Azure
+// dataset stays well under it, while a corrupt count cell (the format stores
+// plain integers, so a single damaged digit can claim billions of
+// invocations in one minute) fails fast instead of exhausting memory.
+const DefaultAzureRequestLimit = 50_000_000
+
+// ReadAzureInvocationsCSVLimit is ReadAzureInvocationsCSV with an explicit
+// bound on the total expanded request count (≤ 0 means the default).
+func ReadAzureInvocationsCSVLimit(r io.Reader, maxRequests int) (*Trace, error) {
+	if maxRequests <= 0 {
+		maxRequests = DefaultAzureRequestLimit
+	}
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
@@ -56,6 +75,12 @@ func ReadAzureInvocationsCSV(r io.Reader) (*Trace, error) {
 			}
 			if n < 0 {
 				return nil, fmt.Errorf("workload: azure trace row %d minute %d: negative count", row, m+1)
+			}
+			// Check the budget before expanding: the count cell alone can
+			// demand gigabytes of requests, so the cap must not wait for the
+			// append loop to get there.
+			if n > maxRequests-len(t.Requests) {
+				return nil, fmt.Errorf("workload: azure trace row %d minute %d: expansion exceeds %d requests", row, m+1, maxRequests)
 			}
 			base := time.Duration(m) * time.Minute
 			for i := 0; i < n; i++ {

@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAzureCSV hammers the Azure invocations parser with malformed input:
+// whatever the bytes, it must either return a well-formed trace or an error —
+// never panic, and never expand a hostile count cell into an OOM (the small
+// limit keeps the fuzzer fast while exercising the same cap the default
+// limit enforces).
+func FuzzAzureCSV(f *testing.F) {
+	f.Add("HashOwner,HashApp,HashFunction,Trigger,1\no1,a1,f1,http,3\n")
+	f.Add("HashOwner,HashApp,HashFunction,Trigger,1,2\no1,a1,f1,http,2,0\no2,a2,f2,timer,0,5\n")
+	f.Add("HashOwner,HashApp,HashFunction,Trigger,1\no1,a1,f1,http,-4\n")
+	f.Add("HashOwner,HashApp,HashFunction,Trigger,1\no1,a1,f1,http,NaN\n")
+	f.Add("HashOwner,HashApp,HashFunction,Trigger,1\no1,a1,f1,http,999999999999\n")
+	f.Add("HashOwner,HashApp,HashFunction,Trigger,1\no1,a1,f1,http\n")
+	f.Add("not,a,header\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		const limit = 100_000
+		tr, err := ReadAzureInvocationsCSVLimit(strings.NewReader(data), limit)
+		if err != nil {
+			return
+		}
+		if tr.Len() > limit {
+			t.Fatalf("trace has %d requests, over the %d limit", tr.Len(), limit)
+		}
+		for i, r := range tr.Requests {
+			if r.At < 0 || r.At > tr.Duration {
+				t.Fatalf("request %d at %v outside horizon %v", i, r.At, tr.Duration)
+			}
+			if i > 0 {
+				prev := tr.Requests[i-1]
+				if r.At < prev.At || (r.At == prev.At && r.Function < prev.Function) {
+					t.Fatalf("requests %d,%d out of (At, Function) order: %+v then %+v", i-1, i, prev, r)
+				}
+			}
+		}
+	})
+}

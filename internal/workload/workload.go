@@ -82,14 +82,7 @@ func PoissonRates(rates map[string]float64, duration time.Duration, seed int64) 
 			continue
 		}
 		rng := rand.New(rand.NewSource(seed + int64(i)*1_000_003))
-		for at := time.Duration(0); ; {
-			gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
-			at += gap
-			if at >= duration {
-				break
-			}
-			t.Requests = append(t.Requests, Request{Function: f, At: at})
-		}
+		drain(t, f, poissonArrivals(rate, duration, rng))
 	}
 	sortTrace(t)
 	return t
@@ -147,72 +140,24 @@ func AzureLike(fns []string, duration time.Duration, seed int64) *Trace {
 // and overnight-batch workloads in the Azure characterization. Thinning
 // keeps the process exact.
 func genDiurnal(t *Trace, f string, duration time.Duration, rng *rand.Rand) {
-	peak := 0.005 + 0.015*rng.Float64() // 1 per 50-200 s at the daily peak
-	phase := rng.Float64() * 24 * float64(time.Hour)
-	rate := func(at time.Duration) float64 {
-		x := (float64(at) + phase) / float64(24*time.Hour) * 2 * math.Pi
-		return peak * (0.6 + 0.4*math.Sin(x)) // in [0.2·peak, peak]
-	}
-	at := time.Duration(0)
-	for {
-		at += time.Duration(rng.ExpFloat64() / peak * float64(time.Second))
-		if at >= duration {
-			return
-		}
-		if rng.Float64() < rate(at)/peak { // thinning
-			t.Requests = append(t.Requests, Request{Function: f, At: at})
-		}
-	}
+	drain(t, f, diurnalArrivals(duration, rng))
 }
 
 // genBursty emits alternating on/off phases; during an on-phase the function
 // sees Poisson arrivals at a high rate.
 func genBursty(t *Trace, f string, duration time.Duration, rng *rand.Rand) {
-	rate := 0.02 + 0.06*rng.Float64() // 1 per 50 s .. 1 per 12.5 s while on
-	at := time.Duration(0)
-	for at < duration {
-		onLen := time.Duration((2 + 8*rng.Float64()) * float64(time.Minute))
-		offLen := time.Duration((10 + 35*rng.Float64()) * float64(time.Minute))
-		end := at + onLen
-		if end > duration {
-			end = duration
-		}
-		for cur := at; ; {
-			gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
-			cur += gap
-			if cur >= end {
-				break
-			}
-			t.Requests = append(t.Requests, Request{Function: f, At: cur})
-		}
-		at = end + offLen
-	}
+	drain(t, f, burstyArrivals(duration, rng))
 }
 
 // genPeriodic emits timer-driven arrivals with a fixed period and ±10 %
 // jitter, starting at a random phase.
 func genPeriodic(t *Trace, f string, duration time.Duration, rng *rand.Rand) {
-	periods := []time.Duration{time.Minute, 5 * time.Minute, 15 * time.Minute, time.Hour}
-	period := periods[rng.Intn(len(periods))]
-	at := time.Duration(rng.Float64() * float64(period))
-	for at < duration {
-		t.Requests = append(t.Requests, Request{Function: f, At: at})
-		jitter := 1 + 0.2*(rng.Float64()-0.5)
-		at += time.Duration(float64(period) * jitter)
-	}
+	drain(t, f, periodicArrivals(duration, rng))
 }
 
 // genRare emits sparse Poisson arrivals (mean one per 30-120 minutes).
 func genRare(t *Trace, f string, duration time.Duration, rng *rand.Rand) {
-	mean := time.Duration((30 + 90*rng.Float64()) * float64(time.Minute))
-	at := time.Duration(0)
-	for {
-		at += time.Duration(rng.ExpFloat64() * float64(mean))
-		if at >= duration {
-			return
-		}
-		t.Requests = append(t.Requests, Request{Function: f, At: at})
-	}
+	drain(t, f, rareArrivals(duration, rng))
 }
 
 // Series returns the per-slot invocation counts of one function across the

@@ -430,6 +430,52 @@ func (s *System) RunSharded(trace *Trace, workers int) (*Report, error) {
 	}, nil
 }
 
+// RunStream replays the trace like Run but in constant memory: requests pull
+// lazily through a cursor and every record folds into a mergeable summary
+// instead of being retained. Aggregate results (counts, mean, kind fractions,
+// fault tallies, exact breakdown sums) are identical to Run's; intermediate
+// percentiles come from a bounded-error sketch (see DESIGN.md).
+func (s *System) RunStream(trace *Trace) (*StreamReport, error) {
+	cfg, err := s.simConfig(trace)
+	if err != nil {
+		return nil, err
+	}
+	sim := simulate.New(cfg, s.fns)
+	sum, err := sim.RunStream(trace.Cursor())
+	if err != nil {
+		return nil, err
+	}
+	return &StreamReport{
+		Metrics:  sum,
+		Policy:   string(s.cfg.Policy),
+		Verified: sim.TransformsVerified,
+	}, nil
+}
+
+// RunWindowed replays the trace through time-windowed optimistic parallelism:
+// each window speculates across the placement's per-window independent node
+// partitions on up to `workers` goroutines (0 means GOMAXPROCS) and windows
+// whose active functions conflict replay serially — no globally disjoint
+// placement is required, unlike RunSharded. Results are exactly RunStream's;
+// configurations that couple requests globally fall back to serial streaming
+// replay, and StreamReport.Windowing says why.
+func (s *System) RunWindowed(trace *Trace, windows, workers int) (*StreamReport, error) {
+	cfg, err := s.simConfig(trace)
+	if err != nil {
+		return nil, err
+	}
+	sum, rep, err := simulate.RunWindowed(cfg, s.fns, trace.Cursor(), trace.Duration, windows, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamReport{
+		Metrics:   sum,
+		Policy:    string(s.cfg.Policy),
+		Verified:  rep.TransformsVerified,
+		Windowing: rep,
+	}, nil
+}
+
 func (s *System) balancerPlacement(trace *Trace, nodes int) map[string][]int {
 	infos := make([]balancer.FunctionInfo, len(s.fns))
 	for i, f := range s.fns {
@@ -458,6 +504,57 @@ type Report struct {
 	// health tracking is disabled, and for RunSharded, which refuses to
 	// shard with health tracking on).
 	Health HealthSummary
+}
+
+// StreamReport summarizes a streaming replay (RunStream or RunWindowed):
+// aggregates only, no per-request records.
+type StreamReport struct {
+	// Metrics is the mergeable run summary: exact counts, means, kind and
+	// fault tallies, plus sketched percentiles.
+	Metrics *metrics.Summary
+	// Policy is the container-management policy that produced the report.
+	Policy string
+	// Verified counts transformation plans executed through the
+	// meta-operator engine (only with SystemConfig.VerifyTransforms).
+	Verified int
+	// Windowing describes how RunWindowed parallelized the replay (zero for
+	// RunStream).
+	Windowing simulate.WindowReport
+}
+
+// Summary renders a human-readable digest of the streaming run.
+func (r *StreamReport) Summary() string {
+	fr := r.Metrics.KindFractions()
+	return fmt.Sprintf(
+		"%d requests: mean %v, p50 %v, p99 %v | warm %.1f%%, transform %.1f%%, cold %.1f%%",
+		r.Metrics.Count(), r.Metrics.MeanLatency(), r.Metrics.Percentile(50), r.Metrics.Percentile(99),
+		100*fr[metrics.StartWarm], 100*fr[metrics.StartTransform], 100*fr[metrics.StartCold])
+}
+
+// FaultSummary renders the run's failure/recovery tallies, or "" when no
+// fault was injected.
+func (r *StreamReport) FaultSummary() string {
+	f := r.Metrics.Faults
+	if !f.Any() {
+		return ""
+	}
+	return fmt.Sprintf(
+		"faults: %d transform fallbacks, %d load retries, %d crashes, %d outages | %d retries, %d dropped",
+		f.TransformFallbacks, f.LoadRetries, f.Crashes, f.Outages, f.Retries, f.Dropped)
+}
+
+// WindowSummary renders how the windowed replay parallelized, or "" for a
+// plain streaming run.
+func (r *StreamReport) WindowSummary() string {
+	w := r.Windowing
+	if w.Workers == 0 {
+		return ""
+	}
+	if !w.Windowed() {
+		return fmt.Sprintf("windows: serial fallback (%s)", w.SerialReason)
+	}
+	return fmt.Sprintf("windows: %d replayed, %d parallel (max %d partitions), %d conflict-serial, %d workers",
+		w.Windows, w.ParallelWindows, w.MaxGroups, w.ConflictWindows, w.Workers)
 }
 
 // FanoutSummary renders the run's fan-out tree tallies, or "" when no tree
