@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt lint test race bench bench-scale bench-stream bench-soak bench-recovery bench-fanout microbench benchguard scaleguard streamguard soakguard recoveryguard fanoutguard fuzz check
+.PHONY: build vet fmt lint test race bench bench-scale bench-stream bench-soak bench-recovery bench-fanout bench-gateway microbench benchguard scaleguard streamguard soakguard recoveryguard fanoutguard gatewayguard fuzz check
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,12 @@ bench-recovery:
 bench-fanout:
 	$(GO) run ./cmd/optimus-bench fanout
 
+# bench-gateway runs the multi-gateway control-plane experiment (aggregate
+# throughput at 1/2/4/8 gateways, shared-vs-isolated plan cache with a
+# mid-trace drain) and leaves BENCH_gateway.json in the repo root.
+bench-gateway:
+	$(GO) run ./cmd/optimus-bench gateway
+
 # microbench runs the Go testing.B microbenchmarks of the root package.
 microbench:
 	$(GO) test -bench=. -benchmem .
@@ -105,6 +111,13 @@ recoveryguard:
 fanoutguard:
 	$(GO) test -run 'TestFanout' ./internal/experiments
 
+# gatewayguard validates the checked-in BENCH_gateway.json against the
+# multi-gateway acceptance gate (≥2x aggregate simulated throughput at 4
+# gateways, shared plan-cache hit ratio at or above isolated with no more
+# pairs planned, double-run byte-identity) and replays a quick smoke.
+gatewayguard:
+	$(GO) test -run 'TestGateway' ./internal/experiments
+
 # fuzz runs a short native-fuzzing smoke over the plan executor, the
 # lint-directive parser, and the Azure-trace CSV reader.
 fuzz:
@@ -115,4 +128,4 @@ fuzz:
 # check is the pre-merge gate: formatting, static analysis (go vet plus the
 # project linter), a full build, the test suite under the race detector (the
 # gateway stress test needs it), and the benchmark regression guards.
-check: fmt vet lint build race benchguard scaleguard streamguard soakguard recoveryguard fanoutguard
+check: fmt vet lint build race benchguard scaleguard streamguard soakguard recoveryguard fanoutguard gatewayguard

@@ -73,6 +73,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "             scale (replays one trace serial/indexed/sharded; emits BENCH_sim_scale.json into -out)")
 		fmt.Fprintln(os.Stderr, "             soak (chaos soak, baseline vs resilient; emits BENCH_soak.json into -out)")
 		fmt.Fprintln(os.Stderr, "             fanout (burst fan-out trees vs independent transforms; emits BENCH_fanout.json into -out)")
+		fmt.Fprintln(os.Stderr, "             gateway (multi-gateway scaling + shared-vs-isolated plan cache; emits BENCH_gateway.json into -out)")
 		fmt.Fprintln(os.Stderr, "             recovery also emits BENCH_recovery.json into -out")
 		os.Exit(2)
 	}
@@ -184,6 +185,13 @@ func main() {
 			out, result = r.Render(), r
 		case "fanout":
 			r := experiments.Fanout(o, fo.Config())
+			if err := r.WriteFile(*outDir); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			out, result = r.Render(), r
+		case "gateway":
+			r := experiments.Gateway(o)
 			if err := r.WriteFile(*outDir); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/controlplane"
 	"repro/internal/cost"
 	"repro/internal/gateway"
 	"repro/internal/policy"
@@ -56,6 +57,7 @@ func main() {
 	ff := cliutil.RegisterFaultFlags(flag.CommandLine, true)
 	rf := cliutil.RegisterResilienceFlags(flag.CommandLine)
 	fo := cliutil.RegisterFanoutFlags(flag.CommandLine)
+	cp := cliutil.RegisterControlPlaneFlags(flag.CommandLine)
 	flag.Parse()
 
 	if err := ff.Validate(); err != nil {
@@ -67,6 +69,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := fo.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := cp.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -154,9 +160,28 @@ func main() {
 		}
 	}
 
+	// In a multi-gateway deployment the proxy fronts the local handler: it
+	// forwards non-owned invokes to their consistent-hash ring owner and
+	// mirrors registrations, so every process serves an identical catalog
+	// while plan caches warm only on owners (DESIGN.md "Multi-gateway
+	// control plane").
+	handler := http.Handler(gw.Handler())
+	if cp.Enabled() {
+		peers, err := cp.PeerSet()
+		if err != nil {
+			log.Fatal(err)
+		}
+		proxy, err := controlplane.NewProxy(*cp.Self, peers, *seed, cp.RingVNodes(), handler)
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler = proxy
+		log.Printf("control plane: self=%s, %d peers, %d vnodes", *cp.Self, len(peers), cp.RingVNodes())
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           gw.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Printf("optimus-server listening on %s (policy=%s, %d nodes × %d containers, %s profile)\n",

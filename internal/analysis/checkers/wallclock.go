@@ -36,6 +36,7 @@ var defaultVirtualPackages = []string{
 	"repro/internal/workload",
 	"repro/internal/balancer",
 	"repro/internal/fanout",
+	"repro/internal/ring",
 }
 
 // Wallclock bans wall-clock reads (time.Now, Since, Sleep, After, timers)

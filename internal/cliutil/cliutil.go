@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net/url"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -16,9 +17,11 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/controlplane"
 	"repro/internal/fanout"
 	"repro/internal/faults"
 	"repro/internal/health"
+	"repro/internal/ring"
 	"repro/internal/supervisor"
 )
 
@@ -334,6 +337,109 @@ func (r *ReplayFlags) Validate() error {
 
 // Streaming reports whether a streaming-engine replay was requested.
 func (r *ReplayFlags) Streaming() bool { return *r.Stream || *r.Windows > 0 }
+
+// ControlPlaneFlags bundles the multi-gateway control-plane flags: the
+// process's ring identity, the peer set, and the ring's virtual-node count
+// (one registration + validation path, like FaultFlags).
+type ControlPlaneFlags struct {
+	Self   *string
+	Peers  *string
+	VNodes *int
+}
+
+// RegisterControlPlaneFlags installs the shared control-plane flags on fs.
+func RegisterControlPlaneFlags(fs *flag.FlagSet) *ControlPlaneFlags {
+	return &ControlPlaneFlags{
+		Self: fs.String("self", "gw-0",
+			"this process's ring identity; must appear in -peers"),
+		Peers: fs.String("peers", "",
+			"multi-gateway peer set as id=url,... (empty = single gateway); all peers must list the same set"),
+		VNodes: fs.Int("ring-vnodes", 0,
+			fmt.Sprintf("virtual nodes per ring member (0 = default %d)", ring.DefaultVNodes)),
+	}
+}
+
+// Enabled reports whether a multi-gateway peer set was given.
+func (c *ControlPlaneFlags) Enabled() bool { return strings.TrimSpace(*c.Peers) != "" }
+
+// Validate checks the control-plane flag values, reporting every bad value
+// in one consolidated error like ValidateProbs.
+func (c *ControlPlaneFlags) Validate() error {
+	var bad []string
+	if *c.VNodes < 0 {
+		bad = append(bad, fmt.Sprintf("-ring-vnodes=%d (want ≥ 0)", *c.VNodes))
+	}
+	if c.Enabled() {
+		peers, errs := parsePeers(*c.Peers)
+		bad = append(bad, errs...)
+		if len(errs) == 0 {
+			found := false
+			for _, p := range peers {
+				if p.ID == *c.Self {
+					found = true
+					break
+				}
+			}
+			if !found {
+				bad = append(bad, fmt.Sprintf("-self=%q (not in -peers)", *c.Self))
+			}
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	return fmt.Errorf("invalid control-plane flags: %s", strings.Join(bad, ", "))
+}
+
+// PeerSet resolves the parsed -peers list; call after Validate.
+func (c *ControlPlaneFlags) PeerSet() ([]controlplane.Peer, error) {
+	peers, errs := parsePeers(*c.Peers)
+	if len(errs) > 0 {
+		sort.Strings(errs)
+		return nil, fmt.Errorf("invalid control-plane flags: %s", strings.Join(errs, ", "))
+	}
+	return peers, nil
+}
+
+// RingVNodes resolves the vnode count; zero keeps the ring default.
+func (c *ControlPlaneFlags) RingVNodes() int {
+	if *c.VNodes > 0 {
+		return *c.VNodes
+	}
+	return ring.DefaultVNodes
+}
+
+// parsePeers parses an id=url,... list, collecting every malformed entry
+// and duplicate ID into the returned error strings.
+func parsePeers(s string) ([]controlplane.Peer, []string) {
+	var peers []controlplane.Peer
+	var bad []string
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, rawURL, ok := strings.Cut(part, "=")
+		if !ok || id == "" || rawURL == "" {
+			bad = append(bad, fmt.Sprintf("-peers entry %q (want id=url)", part))
+			continue
+		}
+		if seen[id] {
+			bad = append(bad, fmt.Sprintf("-peers entry %q (duplicate id %q)", part, id))
+			continue
+		}
+		u, err := url.Parse(rawURL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			bad = append(bad, fmt.Sprintf("-peers entry %q (URL must be absolute)", part))
+			continue
+		}
+		seen[id] = true
+		peers = append(peers, controlplane.Peer{ID: id, URL: u})
+	}
+	return peers, bad
+}
 
 // ParseChaosRates parses a -chaos-rates flag value, wrapping errors with the
 // flag name so every binary reports them identically.

@@ -1,10 +1,13 @@
 package cliutil
 
 import (
+	"flag"
 	"math"
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/ring"
 )
 
 func TestValidateProbsAccepts(t *testing.T) {
@@ -76,5 +79,84 @@ func TestParseRatesRejectsConsolidated(t *testing.T) {
 	}
 	if strings.Contains(msg, `"0.5"`) || strings.Contains(msg, `"0.1"`) {
 		t.Errorf("error %q names a valid entry", msg)
+	}
+}
+
+func controlPlaneFlagsFor(t *testing.T, args ...string) *ControlPlaneFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := RegisterControlPlaneFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestControlPlaneFlagsSingleGateway(t *testing.T) {
+	c := controlPlaneFlagsFor(t)
+	if c.Enabled() {
+		t.Error("empty -peers reported enabled")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+	if got := c.RingVNodes(); got != ring.DefaultVNodes {
+		t.Errorf("RingVNodes() = %d, want default %d", got, ring.DefaultVNodes)
+	}
+}
+
+func TestControlPlaneFlagsPeerSet(t *testing.T) {
+	c := controlPlaneFlagsFor(t,
+		"-self", "gw-1",
+		"-peers", "gw-0=http://a:8080, gw-1=http://b:8080 ,gw-2=http://c:8080",
+		"-ring-vnodes", "64")
+	if !c.Enabled() {
+		t.Fatal("peer set not reported enabled")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid peer set rejected: %v", err)
+	}
+	peers, err := c.PeerSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, p := range peers {
+		ids = append(ids, p.ID)
+	}
+	if want := []string{"gw-0", "gw-1", "gw-2"}; !reflect.DeepEqual(ids, want) {
+		t.Errorf("peer ids = %v, want %v", ids, want)
+	}
+	if peers[1].URL.Host != "b:8080" {
+		t.Errorf("gw-1 URL host = %q, want b:8080", peers[1].URL.Host)
+	}
+	if got := c.RingVNodes(); got != 64 {
+		t.Errorf("RingVNodes() = %d, want 64", got)
+	}
+}
+
+func TestControlPlaneFlagsRejectsConsolidated(t *testing.T) {
+	c := controlPlaneFlagsFor(t,
+		"-self", "gw-9",
+		"-peers", "gw-0=http://a:8080,broken,gw-0=http://b:8080,gw-2=not-a-url",
+		"-ring-vnodes", "-1")
+	err := c.Validate()
+	if err == nil {
+		t.Fatal("bad control-plane flags accepted")
+	}
+	for _, want := range []string{
+		`"broken" (want id=url)`,
+		`duplicate id "gw-0"`,
+		`"gw-2=not-a-url" (URL must be absolute)`,
+		"-ring-vnodes=-1",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	// -self is only checked once the entries themselves parse.
+	c2 := controlPlaneFlagsFor(t, "-self", "gw-9", "-peers", "gw-0=http://a:8080")
+	if err := c2.Validate(); err == nil || !strings.Contains(err.Error(), `-self="gw-9" (not in -peers)`) {
+		t.Errorf("self outside peer set not rejected: %v", err)
 	}
 }

@@ -1,0 +1,42 @@
+package controlplane
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDesignDocMatchesProtocol keeps the protocol table in DESIGN.md's
+// "Multi-gateway control plane" section in lockstep with Protocol():
+// adding, removing, or rewording a rule in one place without the other
+// fails here.
+func TestDesignDocMatchesProtocol(t *testing.T) {
+	raw, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const header = "## Multi-gateway control plane"
+	_, rest, found := strings.Cut(string(raw), header)
+	if !found {
+		t.Fatalf("DESIGN.md is missing the %q section", header)
+	}
+	if next := strings.Index(rest, "\n## "); next >= 0 {
+		rest = rest[:next]
+	}
+	rowRE := regexp.MustCompile("(?m)^\\|\\s*`([a-z-]+)`\\s*\\|\\s*`([a-z-]+)`\\s*\\|\\s*([^|]+?)\\s*\\|")
+	var documented []string
+	for _, m := range rowRE.FindAllStringSubmatch(rest, -1) {
+		documented = append(documented, fmt.Sprintf("%s→%s: %s", m[1], m[2], m[3]))
+	}
+
+	var registered []string
+	for _, r := range Protocol() {
+		registered = append(registered, fmt.Sprintf("%s→%s: %s", r.Event, r.Action, r.Note))
+	}
+	if strings.Join(documented, "\n") != strings.Join(registered, "\n") {
+		t.Errorf("DESIGN.md documents:\n%s\n\nbut Protocol() holds:\n%s\n\nupdate the table in %q or controlplane.Protocol to match",
+			strings.Join(documented, "\n"), strings.Join(registered, "\n"), header)
+	}
+}

@@ -1,0 +1,213 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ring"
+)
+
+// proxyTrio builds three proxies (gw-0..gw-2) over live httptest servers,
+// each fronting a recording stub handler, all sharing ring parameters.
+func proxyTrio(t *testing.T) (proxies map[string]*Proxy, hits map[string]*atomic.Int64, lastForwarded map[string]*atomic.Value) {
+	t.Helper()
+	const n = 3
+	ids := []string{"gw-0", "gw-1", "gw-2"}
+	hits = make(map[string]*atomic.Int64, n)
+	lastForwarded = make(map[string]*atomic.Value, n)
+	proxies = make(map[string]*Proxy, n)
+
+	peers := make([]Peer, 0, n)
+	for _, id := range ids {
+		id := id
+		hits[id] = new(atomic.Int64)
+		lastForwarded[id] = new(atomic.Value)
+		// The server wraps the proxy so forwarded requests re-enter peer
+		// proxies over real HTTP (and must stop there via ForwardedHeader).
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			proxies[id].ServeHTTP(w, r)
+		}))
+		t.Cleanup(srv.Close)
+		u, err := url.Parse(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers = append(peers, Peer{ID: id, URL: u})
+	}
+	for _, id := range ids {
+		next := id
+		stub := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[next].Add(1)
+			lastForwarded[next].Store(r.Header.Get(ForwardedHeader))
+			w.Header().Set("X-Served-By", next)
+			fmt.Fprintf(w, `{"served_by":%q}`, next)
+		})
+		p, err := NewProxy(id, peers, 7, 64, stub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxies[id] = p
+	}
+	return proxies, hits, lastForwarded
+}
+
+func TestProxyForwardsInvokeToOwner(t *testing.T) {
+	proxies, hits, lastForwarded := proxyTrio(t)
+
+	// Find a model name gw-0 does not own, so entering at gw-0 must forward.
+	rg := ring.New(7, 64)
+	for id := range proxies {
+		rg.Add(id)
+	}
+	name, owner := "", ""
+	for i := 0; i < 64; i++ {
+		cand := fmt.Sprintf("model-%d", i)
+		o, _ := rg.Owner(cand)
+		if o != "gw-0" {
+			name, owner = cand, o
+			break
+		}
+	}
+	if name == "" {
+		t.Fatal("could not find a model not owned by gw-0")
+	}
+
+	body := fmt.Sprintf(`{"model":%q}`, name)
+	req := httptest.NewRequest(http.MethodPost, "/api/invoke", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	proxies["gw-0"].ServeHTTP(rec, req)
+
+	if got := rec.Header().Get("X-Served-By"); got != owner {
+		t.Fatalf("invoke for %s served by %q, ring owner is %q", name, got, owner)
+	}
+	if hits[owner].Load() != 1 {
+		t.Fatalf("owner %s handler hits = %d, want 1", owner, hits[owner].Load())
+	}
+	if got := lastForwarded[owner].Load(); got != "gw-0" {
+		t.Fatalf("forwarded header at owner = %v, want gw-0", got)
+	}
+	if proxies["gw-0"].forwards.Load() != 1 {
+		t.Fatalf("gw-0 forwards counter = %d, want 1", proxies["gw-0"].forwards.Load())
+	}
+}
+
+func TestProxyServesOwnedInvokeLocally(t *testing.T) {
+	proxies, hits, _ := proxyTrio(t)
+
+	rg := ring.New(7, 64)
+	for id := range proxies {
+		rg.Add(id)
+	}
+	name := ""
+	for i := 0; i < 64; i++ {
+		cand := fmt.Sprintf("model-%d", i)
+		if o, _ := rg.Owner(cand); o == "gw-1" {
+			name = cand
+			break
+		}
+	}
+	if name == "" {
+		t.Fatal("could not find a model owned by gw-1")
+	}
+
+	req := httptest.NewRequest(http.MethodPost, "/api/invoke", strings.NewReader(fmt.Sprintf(`{"model":%q}`, name)))
+	rec := httptest.NewRecorder()
+	proxies["gw-1"].ServeHTTP(rec, req)
+
+	if got := rec.Header().Get("X-Served-By"); got != "gw-1" {
+		t.Fatalf("owned invoke served by %q, want gw-1 (local)", got)
+	}
+	if hits["gw-0"].Load()+hits["gw-2"].Load() != 0 {
+		t.Fatal("owned invoke touched a peer")
+	}
+	if proxies["gw-1"].forwards.Load() != 0 {
+		t.Fatal("owned invoke counted as a forward")
+	}
+}
+
+func TestProxyForwardedRequestStopsAfterOneHop(t *testing.T) {
+	proxies, hits, _ := proxyTrio(t)
+
+	// A request already marked forwarded serves locally even when the ring
+	// says another member owns the model — the one-hop bound.
+	req := httptest.NewRequest(http.MethodPost, "/api/invoke", strings.NewReader(`{"model":"whatever"}`))
+	req.Header.Set(ForwardedHeader, "gw-9")
+	rec := httptest.NewRecorder()
+	proxies["gw-0"].ServeHTTP(rec, req)
+
+	if got := rec.Header().Get("X-Served-By"); got != "gw-0" {
+		t.Fatalf("forwarded request served by %q, want gw-0 (no second hop)", got)
+	}
+	if hits["gw-1"].Load()+hits["gw-2"].Load() != 0 {
+		t.Fatal("forwarded request hopped again")
+	}
+}
+
+func TestProxyMirrorsRegistrations(t *testing.T) {
+	proxies, hits, lastForwarded := proxyTrio(t)
+
+	req := httptest.NewRequest(http.MethodPost, "/api/models", strings.NewReader(`{"name":"resnet18"}`))
+	rec := httptest.NewRecorder()
+	proxies["gw-0"].ServeHTTP(rec, req)
+
+	// Local handler plus both peers saw the registration exactly once each.
+	for id, h := range hits {
+		if h.Load() != 1 {
+			t.Errorf("%s registration hits = %d, want 1", id, h.Load())
+		}
+	}
+	for _, id := range []string{"gw-1", "gw-2"} {
+		if got := lastForwarded[id].Load(); got != "gw-0" {
+			t.Errorf("mirror at %s carried forwarded header %v, want gw-0", id, got)
+		}
+	}
+	if got := proxies["gw-0"].mirrors.Load(); got != 2 {
+		t.Errorf("gw-0 mirrors counter = %d, want 2", got)
+	}
+	if got := proxies["gw-0"].mirrorErrors.Load(); got != 0 {
+		t.Errorf("gw-0 mirror errors = %d, want 0", got)
+	}
+}
+
+func TestProxyRingEndpoint(t *testing.T) {
+	proxies, _, _ := proxyTrio(t)
+
+	req := httptest.NewRequest(http.MethodGet, "/api/ring", nil)
+	rec := httptest.NewRecorder()
+	proxies["gw-2"].ServeHTTP(rec, req)
+
+	var got struct {
+		Self    string   `json:"self"`
+		Members []string `json:"members"`
+		VNodes  int      `json:"vnodes"`
+		Seed    int64    `json:"seed"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Self != "gw-2" || got.VNodes != 64 || got.Seed != 7 {
+		t.Fatalf("ring view = %+v", got)
+	}
+	if want := []string{"gw-0", "gw-1", "gw-2"}; strings.Join(got.Members, ",") != strings.Join(want, ",") {
+		t.Fatalf("members = %v, want %v", got.Members, want)
+	}
+}
+
+func TestProxyRejectsBadPeerSets(t *testing.T) {
+	u, _ := url.Parse("http://localhost:1")
+	if _, err := NewProxy("a", []Peer{{ID: "a", URL: u}, {ID: "a", URL: u}}, 1, 8, http.NotFoundHandler()); err == nil {
+		t.Error("duplicate peer id accepted")
+	}
+	if _, err := NewProxy("a", []Peer{{ID: "a", URL: nil}}, 1, 8, http.NotFoundHandler()); err == nil {
+		t.Error("nil peer URL accepted")
+	}
+	if _, err := NewProxy("z", []Peer{{ID: "a", URL: u}}, 1, 8, http.NotFoundHandler()); err == nil {
+		t.Error("self outside peer set accepted")
+	}
+}

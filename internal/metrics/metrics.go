@@ -353,6 +353,47 @@ func (c *Collector) KindFractions() map[StartKind]float64 {
 	return out
 }
 
+// QuickStats is the value-typed summary behind the gateway's /api/stats hot
+// path: request count, mean, the two headline percentiles, and every start
+// kind's share in a fixed array indexed by StartKind. Building one performs
+// no heap allocation once the collector's sorted-latency cache is warm —
+// unlike the map-returning KindFractions plus per-percentile calls it
+// replaces, which allocated on every stats read.
+type QuickStats struct {
+	Requests  int
+	Mean      time.Duration
+	P50, P99  time.Duration
+	Fractions [startKindCount]float64
+}
+
+// Fraction returns kind's share of requests (0 for out-of-range kinds).
+func (q QuickStats) Fraction(kind StartKind) float64 {
+	if int(kind) >= len(q.Fractions) {
+		return 0
+	}
+	return q.Fractions[kind]
+}
+
+// Quick returns the stats-endpoint summary in one pass over the cached
+// aggregates: allocation-free while the sorted view is valid, one latency
+// sort (amortized across readers) after new Adds.
+func (c *Collector) Quick() QuickStats {
+	q := QuickStats{Requests: len(c.records), Mean: c.MeanLatency()}
+	if len(c.records) == 0 {
+		return q
+	}
+	sorted := c.sortedLatencies()
+	q.P50 = percentileSorted(sorted, 50)
+	q.P99 = percentileSorted(sorted, 99)
+	total := float64(len(c.records))
+	for k, n := range c.kinds {
+		// Divide per kind (not multiply by a shared reciprocal) so the values
+		// match KindFractions bit-for-bit.
+		q.Fractions[k] = float64(n) / total
+	}
+	return q
+}
+
 // Breakdown is an averaged latency decomposition.
 type Breakdown struct {
 	Wait, Init, Load, Compute time.Duration

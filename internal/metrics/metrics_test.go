@@ -278,3 +278,53 @@ func TestPercentilesSharedSort(t *testing.T) {
 		}
 	}
 }
+
+func TestQuickMatchesSlowPath(t *testing.T) {
+	var c Collector
+	if q := c.Quick(); q.Requests != 0 || q.Mean != 0 || q.P50 != 0 || q.P99 != 0 {
+		t.Errorf("empty Quick = %+v, want zeros", c.Quick())
+	}
+	for i := 1; i <= 200; i++ {
+		k := StartWarm
+		switch {
+		case i%7 == 0:
+			k = StartCold
+		case i%3 == 0:
+			k = StartTransform
+		}
+		c.Add(rec("f", k, 0, time.Duration(i)*time.Millisecond))
+	}
+	q := c.Quick()
+	if q.Requests != c.Len() || q.Mean != c.MeanLatency() ||
+		q.P50 != c.Percentile(50) || q.P99 != c.Percentile(99) {
+		t.Errorf("Quick aggregate mismatch: %+v", q)
+	}
+	fr := c.KindFractions()
+	for k, want := range fr {
+		if got := q.Fraction(k); got != want {
+			t.Errorf("Fraction(%v) = %v, want %v", k, got, want)
+		}
+	}
+	if q.Fraction(startKindCount) != 0 {
+		t.Error("out-of-range Fraction should be 0")
+	}
+}
+
+// TestQuickAllocFree is the stats-path regression bound: once the sorted
+// cache is warm (one read after the last Add), Quick must not allocate — the
+// /api/stats handler builds its summary from it on every poll.
+func TestQuickAllocFree(t *testing.T) {
+	var c Collector
+	for i := 0; i < 5000; i++ {
+		c.Add(rec("f", StartKind(i%int(startKindCount)), 0, time.Duration(i)*time.Microsecond))
+	}
+	c.Quick() // warm the sorted-latency cache
+	if avg := testing.AllocsPerRun(100, func() {
+		q := c.Quick()
+		if q.Requests != 5000 {
+			t.Fatal("bad request count")
+		}
+	}); avg != 0 {
+		t.Errorf("Quick allocates %.1f objects/call on a warm cache, want 0", avg)
+	}
+}

@@ -1,7 +1,6 @@
 package planner
 
 import (
-	"container/list"
 	"sync"
 	"time"
 
@@ -17,33 +16,68 @@ import (
 // — two models with identical structure but different weights transform
 // differently (Replace steps), so weights participate in the key.
 //
+// The cache is sharded by pair key into a power-of-two number of
+// independently locked shards, so concurrent lookups from parallel planning
+// workers and multi-gateway forwarding never serialize on one mutex (the
+// pre-PR-9 hot path). Each shard keeps its own LRU list and singleflight
+// table; a pair always hashes to the same shard, so per-pair semantics
+// (dedup, eviction, counters) are unchanged.
+//
 // The cache is optionally bounded: NewCacheBounded evicts the least recently
-// used plan once the bound is exceeded, so a gateway serving an unbounded
-// model churn holds at most `limit` plans. Concurrent GetOrPlan calls for the
-// same (src, dst) pair are deduplicated via singleflight: exactly one caller
-// plans while the rest wait for its result, so a burst of registrations never
-// repeats planning work.
+// used plan once the bound is exceeded. Bounded caches keep a single shard so
+// the LRU bound stays globally exact; the unbounded default — what the
+// serving path uses — shards DefaultShards ways. Concurrent GetOrPlan calls
+// for the same (src, dst) pair are deduplicated via singleflight: exactly one
+// caller plans while the rest wait for its result, so a burst of
+// registrations never repeats planning work.
+//
+// A cache may also carry a loader (SetLoader): the multi-gateway control
+// plane installs one so a local miss pulls the plan from the pair's ring
+// owner instead of re-running the planner — the cross-gateway extension of
+// the same singleflight idea. Loader fills are counted as Remote, not
+// Planned.
 type Cache struct {
+	shards []cacheShard
+	mask   uint64
+
+	// idsMu guards ids, the per-graph hash-pair memo shared by all shards.
+	// Graphs handed out by the zoo registries are immutable by convention
+	// (containers hold clones), so pointer-keyed memoization is safe and makes
+	// the online cache lookup O(1) instead of re-hashing both graphs. Reads
+	// vastly outnumber writes, hence the RWMutex.
+	idsMu sync.RWMutex
+	ids   map[*model.Graph]graphID
+
+	// loader, when non-nil, is consulted on a miss before planning locally
+	// (inside the singleflight, so at most one loader call per pair is in
+	// flight). Set once via SetLoader before the cache sees concurrent use.
+	loader func(src, dst *model.Graph) (*metaop.Plan, bool)
+}
+
+// DefaultShards is the shard count of an unbounded cache: a power of two
+// comfortably above the planning worker-pool sizes the binaries run with.
+const DefaultShards = 16
+
+// cacheShard is one independently locked slice of the cache.
+type cacheShard struct {
 	mu sync.Mutex
-	m  map[cacheKey]*list.Element
-	// lru orders entries most-recently-used first; evictions pop the back.
-	lru *list.List
+	m  map[cacheKey]*lruEntry
+	// head/tail order entries most-recently-used first; evictions pop the
+	// tail. A hand-rolled list keeps the entry structs pointer-stable and
+	// allocation-light.
+	head, tail *lruEntry
 	// limit bounds len(m); zero means unbounded.
 	limit int
 	// flights tracks in-progress GetOrPlan computations for singleflight
 	// deduplication.
 	flights map[cacheKey]*flight
-	// ids memoizes per-graph hash pairs. Graphs handed out by the zoo
-	// registries are immutable by convention (containers hold clones), so
-	// pointer-keyed memoization is safe and makes the online cache lookup
-	// O(1) instead of re-hashing both graphs.
-	ids map[*model.Graph]graphID
 
 	hits, misses int
 	// planned counts plans actually computed through GetOrPlan; deduped
 	// counts callers that piggybacked on another goroutine's in-flight
-	// computation instead of planning themselves.
-	planned, deduped int
+	// computation instead of planning themselves; remote counts plans pulled
+	// through the loader instead of planned locally.
+	planned, deduped, remote int
 	// evictions counts plans dropped by the LRU bound.
 	evictions int
 	// planTimes is the per-pair planning-time telemetry recorded around every
@@ -58,10 +92,22 @@ type cacheKey struct {
 	src, dst graphID
 }
 
-// entry is an LRU list element payload.
-type entry struct {
-	key  cacheKey
-	plan *metaop.Plan
+// shardIndex mixes the key's four hashes down to a shard pick. The inputs are
+// already avalanche-quality graph hashes, so xor-fold plus a rotation is
+// enough to decorrelate the low bits.
+func (k cacheKey) shardIndex(mask uint64) uint64 {
+	h := k.src.structure ^ k.src.weights<<1 ^ k.dst.structure<<2 ^ k.dst.weights<<3
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h & mask
+}
+
+// lruEntry is one cached plan on a shard's recency list.
+type lruEntry struct {
+	key        cacheKey
+	plan       *metaop.Plan
+	prev, next *lruEntry
 }
 
 // flight is one in-progress plan computation; waiters block on done.
@@ -70,31 +116,75 @@ type flight struct {
 	plan *metaop.Plan
 }
 
-// NewCache returns an empty, unbounded plan cache.
+// NewCache returns an empty, unbounded plan cache sharded DefaultShards ways.
 func NewCache() *Cache { return NewCacheBounded(0) }
 
 // NewCacheBounded returns an empty plan cache holding at most limit plans
-// (LRU-evicted beyond it); limit <= 0 means unbounded.
+// (LRU-evicted beyond it); limit <= 0 means unbounded. Bounded caches keep a
+// single shard so the bound and eviction order are globally exact; unbounded
+// caches shard DefaultShards ways.
 func NewCacheBounded(limit int) *Cache {
 	if limit < 0 {
 		limit = 0
 	}
-	return &Cache{
-		m:       make(map[cacheKey]*list.Element),
-		lru:     list.New(),
-		limit:   limit,
-		flights: make(map[cacheKey]*flight),
-		ids:     make(map[*model.Graph]graphID),
+	if limit > 0 {
+		return NewCacheSharded(limit, 1)
 	}
+	return NewCacheSharded(0, DefaultShards)
 }
 
-// idFor must be called with c.mu held.
+// NewCacheSharded returns an empty plan cache with an explicit shard count,
+// rounded up to the next power of two (minimum 1). A positive limit is split
+// evenly across shards, so it is exact per shard and approximate globally;
+// use NewCacheBounded for a globally exact bound.
+func NewCacheSharded(limit, shards int) *Cache {
+	if limit < 0 {
+		limit = 0
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &Cache{
+		shards: make([]cacheShard, n),
+		mask:   uint64(n - 1),
+		ids:    make(map[*model.Graph]graphID),
+	}
+	perShard := 0
+	if limit > 0 {
+		perShard = (limit + n - 1) / n
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.m = make(map[cacheKey]*lruEntry)
+		s.flights = make(map[cacheKey]*flight)
+		s.limit = perShard
+	}
+	return c
+}
+
+// SetLoader installs the remote-fill hook consulted on a local miss before
+// planning (the multi-gateway owner-pull protocol). Call it once, before the
+// cache sees concurrent use; a nil loader restores local-only planning.
+func (c *Cache) SetLoader(loader func(src, dst *model.Graph) (*metaop.Plan, bool)) {
+	c.loader = loader
+}
+
+// Shards returns the shard count (a power of two).
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// idFor memoizes g's hash pair.
 func (c *Cache) idFor(g *model.Graph) graphID {
-	if id, ok := c.ids[g]; ok {
+	c.idsMu.RLock()
+	id, ok := c.ids[g]
+	c.idsMu.RUnlock()
+	if ok {
 		return id
 	}
-	id := graphID{structure: g.StructureHash(), weights: g.WeightsHash()}
+	id = graphID{structure: g.StructureHash(), weights: g.WeightsHash()}
+	c.idsMu.Lock()
 	c.ids[g] = id
+	c.idsMu.Unlock()
 	return id
 }
 
@@ -102,125 +192,237 @@ func (c *Cache) keyFor(src, dst *model.Graph) cacheKey {
 	return cacheKey{src: c.idFor(src), dst: c.idFor(dst)}
 }
 
-// lookup must be called with c.mu held; it counts the hit/miss and
-// freshens the LRU position.
-func (c *Cache) lookup(k cacheKey) (*metaop.Plan, bool) {
-	el, ok := c.m[k]
-	if !ok {
-		c.misses++
-		return nil, false
-	}
-	c.hits++
-	c.lru.MoveToFront(el)
-	return el.Value.(*entry).plan, true
+func (c *Cache) shardFor(k cacheKey) *cacheShard {
+	return &c.shards[k.shardIndex(c.mask)]
 }
 
-// insert must be called with c.mu held; it stores (or refreshes) the plan
-// and applies the LRU bound.
-func (c *Cache) insert(k cacheKey, p *metaop.Plan) {
-	if el, ok := c.m[k]; ok {
-		el.Value.(*entry).plan = p
-		c.lru.MoveToFront(el)
+// moveToFront must be called with s.mu held.
+func (s *cacheShard) moveToFront(e *lruEntry) {
+	if s.head == e {
 		return
 	}
-	c.m[k] = c.lru.PushFront(&entry{key: k, plan: p})
-	for c.limit > 0 && len(c.m) > c.limit {
-		back := c.lru.Back()
+	// Unlink.
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if s.tail == e {
+		s.tail = e.prev
+	}
+	// Push front.
+	e.prev, e.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+// lookup must be called with s.mu held; it counts the hit/miss and
+// freshens the LRU position.
+func (s *cacheShard) lookup(k cacheKey) (*metaop.Plan, bool) {
+	e, ok := s.m[k]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.moveToFront(e)
+	return e.plan, true
+}
+
+// insert must be called with s.mu held; it stores (or refreshes) the plan
+// and applies the LRU bound.
+func (s *cacheShard) insert(k cacheKey, p *metaop.Plan) {
+	if e, ok := s.m[k]; ok {
+		e.plan = p
+		s.moveToFront(e)
+		return
+	}
+	e := &lruEntry{key: k, plan: p}
+	s.m[k] = e
+	s.moveToFront(e)
+	for s.limit > 0 && len(s.m) > s.limit {
+		back := s.tail
 		if back == nil {
 			break
 		}
-		c.lru.Remove(back)
-		delete(c.m, back.Value.(*entry).key)
-		c.evictions++
+		if back.prev != nil {
+			back.prev.next = nil
+		}
+		s.tail = back.prev
+		if s.head == back {
+			s.head = nil
+		}
+		delete(s.m, back.key)
+		s.evictions++
 	}
 }
 
-// Get returns the cached plan for src→dst, if any.
+// Get returns the cached plan for src→dst, if any. Get never consults the
+// loader: it reports strictly local occupancy.
 func (c *Cache) Get(src, dst *model.Graph) (*metaop.Plan, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lookup(c.keyFor(src, dst))
+	k := c.keyFor(src, dst)
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lookup(k)
 }
 
 // Put stores a plan for src→dst.
 func (c *Cache) Put(src, dst *model.Graph, p *metaop.Plan) {
-	c.mu.Lock()
-	c.insert(c.keyFor(src, dst), p)
-	c.mu.Unlock()
+	k := c.keyFor(src, dst)
+	s := c.shardFor(k)
+	s.mu.Lock()
+	s.insert(k, p)
+	s.mu.Unlock()
 }
 
-// GetOrPlan returns the cached plan or computes and caches one with pl.
-// Concurrent calls for the same pair compute the plan exactly once: the
-// first caller plans, the rest wait for its result (singleflight).
+// GetOrPlan returns the cached plan, pulls it through the loader (when one is
+// installed), or computes and caches one with pl. Concurrent calls for the
+// same pair resolve it exactly once: the first caller loads or plans, the
+// rest wait for its result (singleflight).
 func (c *Cache) GetOrPlan(pl *Planner, src, dst *model.Graph) *metaop.Plan {
-	c.mu.Lock()
+	return c.getOrPlan(pl, src, dst, c.loader)
+}
+
+// GetOrPlanLocal is GetOrPlan without the loader: a miss always plans
+// locally. The control plane uses it on the ring owner so an owner-side miss
+// never forwards again (plan pulls are one hop, by construction).
+func (c *Cache) GetOrPlanLocal(pl *Planner, src, dst *model.Graph) *metaop.Plan {
+	return c.getOrPlan(pl, src, dst, nil)
+}
+
+func (c *Cache) getOrPlan(pl *Planner, src, dst *model.Graph, loader func(src, dst *model.Graph) (*metaop.Plan, bool)) *metaop.Plan {
 	k := c.keyFor(src, dst)
-	if p, ok := c.lookup(k); ok {
-		c.mu.Unlock()
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if p, ok := s.lookup(k); ok {
+		s.mu.Unlock()
 		return p
 	}
-	if f, ok := c.flights[k]; ok {
-		c.deduped++
-		c.mu.Unlock()
+	if f, ok := s.flights[k]; ok {
+		s.deduped++
+		s.mu.Unlock()
 		<-f.done
 		return f.plan
 	}
 	f := &flight{done: make(chan struct{})}
-	c.flights[k] = f
-	c.mu.Unlock()
+	s.flights[k] = f
+	s.mu.Unlock()
+
+	if loader != nil {
+		if p, ok := loader(src, dst); ok {
+			s.mu.Lock()
+			s.insert(k, p)
+			delete(s.flights, k)
+			s.remote++
+			s.mu.Unlock()
+			f.plan = p
+			close(f.done)
+			return p
+		}
+	}
 
 	t0 := time.Now() //optimus:allow wallclock — telemetry: measures real planning cost, never enters simulated time
 	p := pl.Plan(src, dst)
 	took := time.Since(t0) //optimus:allow wallclock — telemetry: pairs with the time.Now above
 
-	c.mu.Lock()
-	c.insert(k, p)
-	delete(c.flights, k)
-	c.planned++
-	c.planTimes.Observe(took)
-	c.mu.Unlock()
+	s.mu.Lock()
+	s.insert(k, p)
+	delete(s.flights, k)
+	s.planned++
+	s.planTimes.Observe(took)
+	s.mu.Unlock()
 
 	f.plan = p
 	close(f.done)
 	return p
 }
 
+// FlightsQuiesce waits until a moment with no in-flight GetOrPlan
+// computations: every singleflight started before the call has landed its
+// plan in the cache. The control plane's drain handoff calls it so a
+// draining gateway's cache enumeration misses nothing mid-computation.
+// Callers must fence new work themselves (a drained member receives none).
+func (c *Cache) FlightsQuiesce() {
+	for {
+		var pending []*flight
+		for i := range c.shards {
+			s := &c.shards[i]
+			s.mu.Lock()
+			for _, f := range s.flights {
+				pending = append(pending, f) //optimus:allow maprange — wait-set only: every collected flight is awaited, so order cannot affect state
+			}
+			s.mu.Unlock()
+		}
+		if len(pending) == 0 {
+			return
+		}
+		for _, f := range pending {
+			<-f.done
+		}
+	}
+}
+
 // Len returns the number of cached plans.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Stats returns cache hit and miss counts.
 func (c *Cache) Stats() (hits, misses int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	ct := c.Counters()
+	return ct.Hits, ct.Misses
 }
 
-// Counters is a point-in-time snapshot of the cache's bookkeeping.
+// Counters is a point-in-time snapshot of the cache's bookkeeping, summed
+// across shards.
 type Counters struct {
 	// Hits/Misses count lookups (Get and the read side of GetOrPlan).
 	Hits, Misses int
 	// Planned counts plans computed through GetOrPlan; Deduped counts
 	// callers that waited on another goroutine's in-flight computation
-	// (singleflight). Planned+Deduped+Hits covers every GetOrPlan call.
-	Planned, Deduped int
+	// (singleflight); Remote counts plans pulled through the loader (the
+	// cross-gateway owner-pull path) instead of planned locally.
+	// Planned+Remote+Deduped+Hits covers every GetOrPlan call.
+	Planned, Deduped, Remote int
 	// Evictions counts plans dropped by the LRU bound; Size and Limit
-	// describe the current occupancy (Limit 0 = unbounded).
+	// describe the current occupancy (Limit 0 = unbounded; a sharded bound is
+	// the per-shard limit times the shard count).
 	Evictions, Size, Limit int
+	// Shards is the shard count (a power of two; 1 for bounded caches).
+	Shards int
 }
 
 // Counters returns the cache's counter snapshot.
 func (c *Cache) Counters() Counters {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Counters{
-		Hits: c.hits, Misses: c.misses,
-		Planned: c.planned, Deduped: c.deduped,
-		Evictions: c.evictions, Size: len(c.m), Limit: c.limit,
+	out := Counters{Shards: len(c.shards)}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out.Hits += s.hits
+		out.Misses += s.misses
+		out.Planned += s.planned
+		out.Deduped += s.deduped
+		out.Remote += s.remote
+		out.Evictions += s.evictions
+		out.Size += len(s.m)
+		out.Limit += s.limit
+		s.mu.Unlock()
 	}
+	return out
 }
 
 // PlanTimeStats is a snapshot of the per-pair planning-time telemetry.
@@ -235,17 +437,25 @@ type PlanTimeStats struct {
 }
 
 // PlanTimes summarizes the per-pair planning-time telemetry recorded by
-// GetOrPlan. Percentiles come from a streaming log-linear digest, so this is
-// O(1) in the number of plans: no samples are retained or sorted.
+// GetOrPlan, merging the per-shard streaming digests. O(1) in the number of
+// plans: no samples are retained or sorted.
 func (c *Cache) PlanTimes() PlanTimeStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	var merged metrics.DurationDigest
+	count := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		d := s.planTimes
+		count += s.planned
+		s.mu.Unlock()
+		merged.Merge(&d)
+	}
 	return PlanTimeStats{
-		Count: c.planned,
-		Total: c.planTimes.Total(),
-		Max:   c.planTimes.Max(),
-		P50:   c.planTimes.Percentile(50),
-		P95:   c.planTimes.Percentile(95),
-		P99:   c.planTimes.Percentile(99),
+		Count: count,
+		Total: merged.Total(),
+		Max:   merged.Max(),
+		P50:   merged.Percentile(50),
+		P95:   merged.Percentile(95),
+		P99:   merged.Percentile(99),
 	}
 }

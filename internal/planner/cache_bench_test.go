@@ -1,0 +1,162 @@
+package planner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/metaop"
+	"repro/internal/model"
+)
+
+// benchPairs builds n distinct (src, dst) pairs of small chain models. Widths
+// vary so every pair hashes to a distinct cache key (and so the keys spread
+// over the shards).
+func benchPairs(n int) [][2]*model.Graph {
+	pairs := make([][2]*model.Graph, n)
+	for i := range pairs {
+		w := 4 + i%8
+		src := chain(fmt.Sprintf("src-%d", i),
+			convOp("c1", 3, w, w), reluOp("r1", w), convOp("c2", 3, w, w+1))
+		dst := chain(fmt.Sprintf("dst-%d", i),
+			convOp("c1", 5, w, w), reluOp("r1", w), convOp("c2", 3, w, w+2))
+		pairs[i] = [2]*model.Graph{src, dst}
+	}
+	return pairs
+}
+
+// BenchmarkCacheContention measures the hot read path (GetOrPlan on a warm
+// cache) under parallel load at both shard counts: shards=1 reproduces the
+// pre-sharding single-mutex cache, shards=16 is the current default. The
+// 16-goroutine before/after contrast is the sharding-change contention
+// proof; on a single-core runner the ns/op gap narrows (goroutines cannot
+// truly overlap) but the allocs/op equality and the dedup semantics still
+// hold. Reference numbers from a 1-core Xeon @ 2.10GHz at -benchtime=2s:
+//
+//	shards=1/goroutines=16    90.91 ns/op    0 B/op    0 allocs/op
+//	shards=16/goroutines=16   76.26 ns/op    0 B/op    0 allocs/op
+//
+// Even without true parallelism the sharded cache is ~16% faster (shorter
+// critical sections, less handoff); on multicore the gap widens with core
+// count since shards=1 serializes every probe on one mutex.
+func BenchmarkCacheContention(b *testing.B) {
+	pl := New(exact(), AlgoGroup)
+	pairs := benchPairs(64)
+	for _, shards := range []int{1, 16} {
+		b.Run(fmt.Sprintf("shards=%d/goroutines=16", shards), func(b *testing.B) {
+			c := NewCacheSharded(0, shards)
+			for _, pr := range pairs {
+				c.GetOrPlan(pl, pr[0], pr[1]) // warm: the loop below only reads
+			}
+			b.SetParallelism((16 + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					pr := pairs[i%len(pairs)]
+					i++
+					if c.GetOrPlan(pl, pr[0], pr[1]) == nil {
+						b.Fatal("warm cache returned nil plan")
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestCacheShardedSemantics: sharding must not change observable cache
+// behavior — every pair resolves to one plan, counters add up across shards,
+// and the same pair always lands on the same shard (hit the second time).
+func TestCacheShardedSemantics(t *testing.T) {
+	pl := New(exact(), AlgoGroup)
+	pairs := benchPairs(40)
+	c := NewCache()
+	if c.Shards() != DefaultShards {
+		t.Fatalf("default cache has %d shards, want %d", c.Shards(), DefaultShards)
+	}
+	for _, pr := range pairs {
+		first := c.GetOrPlan(pl, pr[0], pr[1])
+		second := c.GetOrPlan(pl, pr[0], pr[1])
+		if first == nil || first != second {
+			t.Fatal("re-lookup did not hit the cached plan")
+		}
+	}
+	ct := c.Counters()
+	if ct.Planned != len(pairs) || ct.Hits != len(pairs) || ct.Size != len(pairs) {
+		t.Fatalf("counters planned=%d hits=%d size=%d, want all %d",
+			ct.Planned, ct.Hits, ct.Size, len(pairs))
+	}
+	if got := c.PlanTimes().Count; got != len(pairs) {
+		t.Fatalf("PlanTimes.Count=%d, want %d", got, len(pairs))
+	}
+}
+
+// TestCacheLoaderOneHop: a loader-satisfied miss is counted Remote, not
+// Planned; GetOrPlanLocal never consults the loader; and the loader fires at
+// most once per pair (singleflight covers the remote pull too).
+func TestCacheLoaderOneHop(t *testing.T) {
+	pl := New(exact(), AlgoGroup)
+	pairs := benchPairs(8)
+
+	owner := NewCache()
+	for _, pr := range pairs {
+		owner.GetOrPlan(pl, pr[0], pr[1])
+	}
+
+	peer := NewCache()
+	var loaderCalls sync.Map
+	peer.SetLoader(func(src, dst *model.Graph) (*metaop.Plan, bool) {
+		n, _ := loaderCalls.LoadOrStore(src.Name, new(int))
+		*(n.(*int))++
+		return owner.Get(src, dst)
+	})
+
+	var wg sync.WaitGroup
+	got := make([]*metaop.Plan, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pr := pairs[i%len(pairs)]
+			got[i] = peer.GetOrPlan(pl, pr[0], pr[1])
+		}(i)
+	}
+	wg.Wait()
+	peer.FlightsQuiesce()
+
+	for i, p := range got {
+		pr := pairs[i%len(pairs)]
+		want, _ := owner.Get(pr[0], pr[1])
+		if p != want {
+			t.Fatalf("call %d did not receive the owner's plan", i)
+		}
+	}
+	ct := peer.Counters()
+	if ct.Planned != 0 {
+		t.Fatalf("peer planned %d pairs locally despite a loader that always hits", ct.Planned)
+	}
+	if ct.Remote != len(pairs) {
+		t.Fatalf("peer pulled %d pairs, want %d", ct.Remote, len(pairs))
+	}
+	loaderCalls.Range(func(_, v any) bool {
+		if *(v.(*int)) != 1 {
+			t.Fatalf("loader fired %d times for one pair, want 1 (singleflight)", *(v.(*int)))
+		}
+		return true
+	})
+
+	// GetOrPlanLocal must bypass the loader: a fresh peer plans locally.
+	local := NewCache()
+	local.SetLoader(func(src, dst *model.Graph) (*metaop.Plan, bool) {
+		t.Error("GetOrPlanLocal consulted the loader")
+		return nil, false
+	})
+	if local.GetOrPlanLocal(pl, pairs[0][0], pairs[0][1]) == nil {
+		t.Fatal("GetOrPlanLocal returned nil")
+	}
+	if ct := local.Counters(); ct.Planned != 1 || ct.Remote != 0 {
+		t.Fatalf("local plan counted planned=%d remote=%d, want 1/0", ct.Planned, ct.Remote)
+	}
+}

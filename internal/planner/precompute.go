@@ -112,7 +112,12 @@ func (p *Precomputer) drain() {
 		p.queue = p.queue[1:]
 		p.mu.Unlock()
 
-		p.cache.GetOrPlan(p.pl, t.src, t.dst)
+		// GetOrPlanLocal, not GetOrPlan: precompute never consults the
+		// cross-gateway loader. Registration-time pair filters decide which
+		// pairs a gateway precomputes, so a worker that reaches here plans
+		// locally by design — pulling here could chain flight-waits between
+		// gateways whose precomputers pull from each other.
+		p.cache.GetOrPlanLocal(p.pl, t.src, t.dst)
 
 		p.mu.Lock()
 		p.outstanding--

@@ -1,0 +1,147 @@
+// Package ring is a consistent-hash ring with virtual nodes for the
+// multi-gateway control plane: functions (and transformation-plan pair keys)
+// map to owning gateway members by ring position, so N cooperating gateways
+// partition ownership without any coordination beyond agreeing on the member
+// set, the seed, and the virtual-node count.
+//
+// Everything is deterministic and seedable: hashing is FNV-1a mixed with the
+// seed, ties break on member name, and ownership is a pure function of
+// (seed, vnodes, member set, key) — two rings built in any insertion order
+// from the same inputs answer Owner identically, byte for byte. Membership
+// changes move the minimum of keys: a join steals keys only for the joiner,
+// and a leave reassigns only the leaver's keys.
+package ring
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count used when a caller passes 0: high
+// enough that an 8-member ring balances ownership to within a few percent.
+const DefaultVNodes = 128
+
+// point is one virtual node on the ring.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Ring maps keys to members by consistent hashing. It is not safe for
+// concurrent mutation; callers (the control plane) serialize access.
+type Ring struct {
+	seed   int64
+	vnodes int
+	// points is sorted ascending by (hash, member); Owner binary-searches it.
+	points  []point
+	members map[string]bool
+}
+
+// New returns an empty ring. vnodes <= 0 takes DefaultVNodes.
+func New(seed int64, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{seed: seed, vnodes: vnodes, members: make(map[string]bool)}
+}
+
+// fnv1a is FNV-1a 64 over s, seeded so distinct ring seeds shuffle ownership.
+func (r *Ring) fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037) ^ uint64(r.seed)*0x9e3779b97f4a7c15
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	// Final avalanche (splitmix64 tail) so short keys spread over the ring.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// VNodes returns the per-member virtual-node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Seed returns the ring's hash seed.
+func (r *Ring) Seed() int64 { return r.seed }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Has reports whether member is on the ring.
+func (r *Ring) Has(member string) bool { return r.members[member] }
+
+// Members returns the member names, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Add places a member's virtual nodes on the ring. Adding a present member is
+// a no-op, so Add is idempotent.
+func (r *Ring) Add(member string) {
+	if r.members[member] {
+		return
+	}
+	r.members[member] = true
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, point{
+			hash:   r.fnv1a(fmt.Sprintf("%s#%d", member, v)),
+			member: member,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+}
+
+// Remove takes a member's virtual nodes off the ring; its keys fall to the
+// next points clockwise. Removing an absent member is a no-op.
+func (r *Ring) Remove(member string) {
+	if !r.members[member] {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Owner returns the member owning key: the first virtual node clockwise from
+// the key's hash. ok is false on an empty ring.
+func (r *Ring) Owner(key string) (member string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := r.fnv1a(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the top of the ring
+	}
+	return r.points[i].member, true
+}
+
+// Counts tallies how many of keys each member owns — the balance view the
+// control plane reports and the property tests bound.
+func (r *Ring) Counts(keys []string) map[string]int {
+	out := make(map[string]int, len(r.members))
+	for _, k := range keys {
+		if m, ok := r.Owner(k); ok {
+			out[m]++
+		}
+	}
+	return out
+}
