@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt lint test race bench bench-scale bench-stream bench-soak bench-recovery bench-fanout bench-gateway microbench benchguard scaleguard streamguard soakguard recoveryguard fanoutguard gatewayguard fuzz check
+.PHONY: build vet fmt lint lintguard test race bench bench-scale bench-stream bench-soak bench-recovery bench-fanout bench-gateway microbench benchguard scaleguard streamguard soakguard recoveryguard fanoutguard gatewayguard fuzz check
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,23 @@ fmt:
 	fi
 
 # lint runs the project's own static analyzer (cmd/optimus-lint): wallclock,
-# globalrand, maprange, lockedescape, panicpath. Exit is non-zero on any
-# finding, including unused //optimus:allow directives.
+# globalrand, maprange, lockedescape, panicpath, lockorder, goroutinejoin,
+# unlockpath, timeprop. Exit is non-zero on any finding, including unused
+# //optimus:allow directives. The binary prints a whole-repo wall-time note
+# to stderr (packages checked/loaded + elapsed); the memoized source
+# importer keeps stdlib type-checking a one-time cost per run.
 lint:
 	$(GO) run ./cmd/optimus-lint ./...
+
+# lintguard is the machine gate for make check / CI: the same whole-repo
+# run with the JSON reporter, archived as optimus-lint.json. Any
+# un-suppressed finding fails the gate and the report names it.
+lintguard:
+	@$(GO) run ./cmd/optimus-lint -json ./... > optimus-lint.json || { \
+		echo "lintguard: findings (see optimus-lint.json):"; \
+		cat optimus-lint.json; \
+		exit 1; \
+	}
 
 test:
 	$(GO) test ./...
@@ -119,13 +132,16 @@ gatewayguard:
 	$(GO) test -run 'TestGateway' ./internal/experiments
 
 # fuzz runs a short native-fuzzing smoke over the plan executor, the
-# lint-directive parser, and the Azure-trace CSV reader.
+# lint-directive parser, the call-graph builder, and the Azure-trace CSV
+# reader.
 fuzz:
 	$(GO) test -fuzz='^FuzzPlanApply$$' -fuzztime=10s -run '^$$' ./internal/planner
 	$(GO) test -fuzz='^FuzzDirectiveParse$$' -fuzztime=10s -run '^$$' ./internal/analysis
+	$(GO) test -fuzz='^FuzzCallGraph$$' -fuzztime=10s -run '^$$' ./internal/analysis
 	$(GO) test -fuzz='^FuzzAzureCSV$$' -fuzztime=10s -run '^$$' ./internal/workload
 
 # check is the pre-merge gate: formatting, static analysis (go vet plus the
-# project linter), a full build, the test suite under the race detector (the
-# gateway stress test needs it), and the benchmark regression guards.
-check: fmt vet lint build race benchguard scaleguard streamguard soakguard recoveryguard fanoutguard gatewayguard
+# project linter with its JSON gate), a full build, the test suite under the
+# race detector (the gateway stress test needs it), and the benchmark
+# regression guards.
+check: fmt vet lintguard build race benchguard scaleguard streamguard soakguard recoveryguard fanoutguard gatewayguard

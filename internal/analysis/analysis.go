@@ -69,6 +69,11 @@ type Pass struct {
 	// Info carries the type-checker's resolution maps (Uses, Defs, Types,
 	// Selections) for the package's files.
 	Info *types.Info
+	// CallGraph is the intra-module call graph over every package the run
+	// loaded — the same graph instance for every pass, so interprocedural
+	// checkers (lockorder, goroutinejoin, timeprop) can follow calls across
+	// package boundaries and memoize per-graph summaries.
+	CallGraph *CallGraph
 
 	report func(Finding)
 }
@@ -82,40 +87,59 @@ func (p *Pass) Reportf(checker string, pos token.Pos, format string, args ...any
 	})
 }
 
+// RunInfo summarizes what a lint run covered, for reporting wall-time and
+// scope alongside findings.
+type RunInfo struct {
+	// Matched is the number of packages the patterns selected for checking.
+	Matched int
+	// Loaded is the total number of module packages type-checked (matched
+	// packages plus their module-local dependencies, each checked once).
+	Loaded int
+}
+
 // Run loads the packages matched by patterns under the module rooted at
 // root (module path modPath), runs every checker over each, applies
 // //optimus:allow suppressions, and returns the surviving findings sorted
 // by position. Load or type-check failures abort with an error: a package
 // that does not compile cannot be certified.
 func Run(root, modPath string, checkers []Checker, patterns []string) ([]Finding, error) {
+	findings, _, err := RunWithInfo(root, modPath, checkers, patterns)
+	return findings, err
+}
+
+// RunWithInfo is Run plus coverage statistics about the load.
+func RunWithInfo(root, modPath string, checkers []Checker, patterns []string) ([]Finding, RunInfo, error) {
 	loader := NewLoader(root, modPath)
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		return nil, err
+		return nil, RunInfo{}, err
 	}
+	loaded := loader.Packages()
+	graph := BuildCallGraph(loaded)
 	known := make(map[string]bool, len(checkers))
 	for _, c := range checkers {
 		known[c.Name()] = true
 	}
 	var all []Finding
 	for _, pkg := range pkgs {
-		all = append(all, runPackage(pkg, checkers, known)...)
+		all = append(all, runPackage(pkg, graph, checkers, known)...)
 	}
 	sortFindings(all)
-	return all, nil
+	return all, RunInfo{Matched: len(pkgs), Loaded: len(loaded)}, nil
 }
 
 // runPackage runs the checkers over one loaded package and applies its
 // suppression directives.
-func runPackage(pkg *Package, checkers []Checker, known map[string]bool) []Finding {
+func runPackage(pkg *Package, graph *CallGraph, checkers []Checker, known map[string]bool) []Finding {
 	var findings []Finding
 	pass := &Pass{
-		Fset:   pkg.Fset,
-		Path:   pkg.Path,
-		Files:  pkg.Files,
-		Pkg:    pkg.Types,
-		Info:   pkg.Info,
-		report: func(f Finding) { findings = append(findings, f) },
+		Fset:      pkg.Fset,
+		Path:      pkg.Path,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		Info:      pkg.Info,
+		CallGraph: graph,
+		report:    func(f Finding) { findings = append(findings, f) },
 	}
 	for _, c := range checkers {
 		c.Run(pass)

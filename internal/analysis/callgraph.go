@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CallKind classifies how a call site invokes its callee.
+type CallKind uint8
+
+const (
+	// CallStatic is a plain call expression.
+	CallStatic CallKind = iota
+	// CallGo is the call of a go statement: the callee runs on a new
+	// goroutine, so its effects (lock acquisitions, clock reads) happen on
+	// another stack.
+	CallGo
+	// CallDefer is the call of a defer statement: it runs at function exit,
+	// on the caller's stack.
+	CallDefer
+)
+
+// CallSite is one statically resolved call edge: caller invokes callee at
+// the given call expression. Only static resolutions appear in the graph —
+// direct function calls, qualified package calls, and method calls resolved
+// through the type checker's selections (for interface methods that is the
+// interface's method object, which has no body). Calls through function
+// values are invisible; function literals are handled by attribution (see
+// CallNode).
+type CallSite struct {
+	Caller *CallNode
+	Callee *CallNode
+	// Call is the call expression; Kind says whether it sits under a go or
+	// defer statement.
+	Call *ast.CallExpr
+	Kind CallKind
+	// InLiteral reports the call occurs inside a function literal nested in
+	// the caller's body. The literal's calls are attributed to the enclosing
+	// declared function (a closure built here may run elsewhere, so edges
+	// with InLiteral are may-happen, not must-happen, on the caller's own
+	// execution).
+	InLiteral bool
+}
+
+// Pos returns the call position.
+func (s *CallSite) Pos() token.Pos { return s.Call.Pos() }
+
+// CallNode is one function in the graph: a declared function or method of a
+// loaded module package (Decl and Info set), or an external function the
+// module calls — standard library, interface method — whose body is not in
+// the loaded set (Decl nil).
+type CallNode struct {
+	// Func is the canonical type-checker object (generic origin for
+	// instantiated functions).
+	Func *types.Func
+	// Decl is the function's declaration, nil for externals.
+	Decl *ast.FuncDecl
+	// Path is the defining package's import path ("" only for the blank
+	// package of error cases; externals carry their real path).
+	Path string
+	// Info is the type info of the package holding Decl (nil for externals);
+	// checkers use it to analyze the bodies of other packages' functions.
+	Info *types.Info
+	// Out lists the node's call sites in source order; In lists the sites
+	// that call it, in graph construction order (deterministic).
+	Out []*CallSite
+	In  []*CallSite
+
+	id int
+}
+
+// FullName returns the type-checker's full name for the function (package
+// path qualified, receiver included for methods).
+func (n *CallNode) FullName() string { return n.Func.FullName() }
+
+// CallGraph is a static, intra-module call graph over every package a lint
+// run loaded (pattern-matched packages and their module-local dependencies).
+// It is built once per Run and shared by every Pass, so checkers can follow
+// calls across package boundaries: transitive lock acquisition, wall-clock
+// taint, goroutine join signals.
+type CallGraph struct {
+	nodes map[*types.Func]*CallNode
+	order []*CallNode
+}
+
+// Node returns the graph node for fn (nil when fn is unknown, e.g. a
+// function of a package the run never loaded or called). Instantiated
+// generic functions resolve to their origin's node.
+func (g *CallGraph) Node(fn *types.Func) *CallNode {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[origin(fn)]
+}
+
+// Nodes returns every node in deterministic construction order: declared
+// functions first (packages sorted by import path, files and declarations in
+// source order), then externals in first-call order.
+func (g *CallGraph) Nodes() []*CallNode { return g.order }
+
+// origin canonicalizes an instantiated generic function to its declaration.
+func origin(fn *types.Func) *types.Func {
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}
+
+// StaticCallee resolves a call expression to the called function object, or
+// nil for dynamic calls (function values), built-ins, and conversions.
+// Method calls resolve through the static type's selection — for interface
+// receivers that is the interface method itself.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := stripParens(call.Fun)
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return nil // conversion, not a call
+	}
+	switch v := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[v].(*types.Func); ok {
+			return origin(fn)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[v]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return origin(fn)
+			}
+			return nil
+		}
+		// No selection: a qualified reference (pkg.Func).
+		if fn, ok := info.Uses[v.Sel].(*types.Func); ok {
+			return origin(fn)
+		}
+	}
+	return nil
+}
+
+// stripParens removes redundant parentheses (local copy — the checkers
+// package has its own).
+func stripParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// BuildCallGraph builds the call graph over the given packages. The package
+// slice must be in a deterministic order (Loader.Packages sorts by path);
+// everything downstream — node ids, edge order — is then deterministic too,
+// which the checkers rely on for stable findings.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{nodes: make(map[*types.Func]*CallNode)}
+	// Pass 1: register every declared function so bodies resolve forward
+	// references and cross-package calls to nodes with declarations.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := g.ensure(fn)
+				n.Decl = fd
+				n.Path = pkg.Path
+				n.Info = pkg.Info
+			}
+		}
+	}
+	// Pass 2: walk bodies and record edges.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.scanBody(g.nodes[origin(fn)], pkg.Info, fd.Body)
+			}
+		}
+	}
+	return g
+}
+
+// ensure returns the node for fn, creating it as external (no Decl) when
+// first seen.
+func (g *CallGraph) ensure(fn *types.Func) *CallNode {
+	fn = origin(fn)
+	if n, ok := g.nodes[fn]; ok {
+		return n
+	}
+	n := &CallNode{Func: fn, id: len(g.order)}
+	if p := fn.Pkg(); p != nil {
+		n.Path = p.Path()
+	}
+	g.nodes[fn] = n
+	g.order = append(g.order, n)
+	return n
+}
+
+// scanBody records every statically resolvable call in body as an out-edge
+// of caller. Calls inside nested function literals are attributed to caller
+// with InLiteral set; go and defer statements mark their direct call's kind.
+func (g *CallGraph) scanBody(caller *CallNode, info *types.Info, body *ast.BlockStmt) {
+	kinds := make(map[*ast.CallExpr]CallKind)
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.GoStmt:
+			kinds[v.Call] = CallGo
+		case *ast.DeferStmt:
+			kinds[v.Call] = CallDefer
+		case *ast.FuncLit:
+			lits = append(lits, v)
+		}
+		return true
+	})
+	inLit := func(pos token.Pos) bool {
+		for _, l := range lits {
+			if l.Body != nil && l.Body.Pos() <= pos && pos < l.Body.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := StaticCallee(info, call)
+		if fn == nil {
+			return true
+		}
+		callee := g.ensure(fn)
+		kind, marked := kinds[call]
+		if !marked {
+			kind = CallStatic
+		}
+		site := &CallSite{
+			Caller:    caller,
+			Callee:    callee,
+			Call:      call,
+			Kind:      kind,
+			InLiteral: inLit(call.Pos()),
+		}
+		caller.Out = append(caller.Out, site)
+		callee.In = append(callee.In, site)
+		return true
+	})
+}

@@ -22,6 +22,10 @@ func All() []analysis.Checker {
 		NewMaprange(),
 		NewLockedescape(),
 		DefaultPanicpath(),
+		NewLockorder(),
+		NewGoroutinejoin(),
+		NewUnlockpath(),
+		DefaultTimeprop(),
 	}
 }
 

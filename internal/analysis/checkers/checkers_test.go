@@ -55,10 +55,50 @@ func TestPanicpathExempt(t *testing.T) {
 	analysis.RunFixture(t, checkers.DefaultPanicpath(), fixture("panicpath_exempt"), "repro/internal/zoo")
 }
 
+func TestLockorderFixture(t *testing.T) {
+	analysis.RunFixture(t, checkers.NewLockorder(), fixture("lockorder"), "repro/internal/fanout")
+}
+
+func TestGoroutinejoinFixture(t *testing.T) {
+	analysis.RunFixture(t, checkers.NewGoroutinejoin(), fixture("goroutinejoin"), "repro/internal/fanout")
+}
+
+func TestUnlockpathFixture(t *testing.T) {
+	analysis.RunFixture(t, checkers.NewUnlockpath(), fixture("unlockpath"), "repro/internal/fanout")
+}
+
+// TestTimepropFixture runs over a two-package mini-module: timeprop's
+// findings only exist on virtual→real-time call edges, which a
+// single-package fixture cannot express.
+func TestTimepropFixture(t *testing.T) {
+	analysis.RunModuleFixture(t,
+		checkers.NewTimeprop([]string{"repro/internal/simulate"}),
+		fixture("timeprop_mod"), "repro", "./...")
+}
+
+// TestRegressSplitLockPR7 memorializes the PR 7 fan-out bug as a checker
+// regression: the pre-fix Tree.MemberLost shape (inflight checked under one
+// lock hold, the state transition under a second) must be reported, and the
+// landed fix (one critical section) must stay silent. If the split-lock rule
+// ever loosens, this fails before the production hazard can re-enter.
+func TestRegressSplitLockPR7(t *testing.T) {
+	analysis.RunFixture(t, checkers.NewUnlockpath(), fixture("regress_splitlock"), "repro/internal/fanout")
+}
+
+// TestRegressGoroutineLeak pins the unjoined-monitor shape the supervision
+// stack must never reacquire: an unjoined spawn is reported, the
+// WaitGroup-joined shape is silent.
+func TestRegressGoroutineLeak(t *testing.T) {
+	analysis.RunFixture(t, checkers.NewGoroutinejoin(), fixture("regress_goleak"), "repro/internal/supervisor")
+}
+
 // TestRegistryNames pins the registry: the binary's flags, the suppression
 // directives and DESIGN.md all key off these exact names.
 func TestRegistryNames(t *testing.T) {
-	want := []string{"wallclock", "globalrand", "maprange", "lockedescape", "panicpath"}
+	want := []string{
+		"wallclock", "globalrand", "maprange", "lockedescape", "panicpath",
+		"lockorder", "goroutinejoin", "unlockpath", "timeprop",
+	}
 	all := checkers.All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d checkers, want %d", len(all), len(want))

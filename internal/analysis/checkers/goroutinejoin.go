@@ -1,0 +1,199 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Goroutinejoin requires every go statement to have a reachable join or
+// termination signal: a WaitGroup.Done/Wait, a channel operation (send,
+// receive, close, range, select), a sync.Cond Broadcast/Signal, or a
+// context cancellation path. A spawned function with none of these —
+// directly or through any statically reachable module function — is a
+// goroutine whose lifetime nothing observes: under churn it accumulates,
+// and in the simulator it outlives the virtual timeline it was spawned in.
+// The checker is deliberately lenient where it cannot see: dynamic spawns
+// (function values), calls through function values, and calls into
+// bodyless externals all count as potentially joining, so only provably
+// signal-free goroutines are reported.
+type Goroutinejoin struct {
+	memo map[*analysis.CallGraph]map[*analysis.CallNode]bool
+}
+
+// NewGoroutinejoin returns the checker.
+func NewGoroutinejoin() *Goroutinejoin {
+	return &Goroutinejoin{memo: make(map[*analysis.CallGraph]map[*analysis.CallNode]bool)}
+}
+
+// Name implements analysis.Checker.
+func (c *Goroutinejoin) Name() string { return "goroutinejoin" }
+
+// Doc implements analysis.Checker.
+func (c *Goroutinejoin) Doc() string {
+	return "requires every go statement to reach a join/termination signal (WaitGroup, channel op, context)"
+}
+
+// Run implements analysis.Checker.
+func (c *Goroutinejoin) Run(p *analysis.Pass) {
+	if p.CallGraph == nil {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				c.checkGo(p, gs)
+			}
+			return true
+		})
+	}
+}
+
+func (c *Goroutinejoin) checkGo(p *analysis.Pass, gs *ast.GoStmt) {
+	if lit, ok := unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		if lit.Body != nil && !c.bodySafe(p.CallGraph, p.Info, lit.Body, make(map[*analysis.CallNode]bool)) {
+			c.report(p, gs, "function literal")
+		}
+		return
+	}
+	fn := analysis.StaticCallee(p.Info, gs.Call)
+	if fn == nil {
+		return // dynamic spawn: unresolvable, assume the caller joins it
+	}
+	node := p.CallGraph.Node(fn)
+	if node == nil || node.Decl == nil || node.Decl.Body == nil {
+		return // external body: invisible, assume it terminates
+	}
+	if !c.nodeSafe(p.CallGraph, node, make(map[*analysis.CallNode]bool)) {
+		c.report(p, gs, funcDisplay(fn))
+	}
+}
+
+func (c *Goroutinejoin) report(p *analysis.Pass, gs *ast.GoStmt, what string) {
+	p.Reportf(c.Name(), gs.Pos(),
+		"go statement spawns %s with no reachable join or termination signal (WaitGroup.Done, channel op, close, select, context): the goroutine's lifetime is unobserved — add a join signal or bound it explicitly", what)
+}
+
+// nodeSafe reports whether the function's body (or anything it statically
+// reaches) contains a join signal, memoized per call graph.
+func (c *Goroutinejoin) nodeSafe(g *analysis.CallGraph, node *analysis.CallNode, visiting map[*analysis.CallNode]bool) bool {
+	if m, ok := c.memo[g]; ok {
+		if safe, done := m[node]; done {
+			return safe
+		}
+	} else {
+		c.memo[g] = make(map[*analysis.CallNode]bool)
+	}
+	if visiting[node] {
+		return false // a recursion cycle contributes no signal of its own
+	}
+	visiting[node] = true
+	defer delete(visiting, node)
+	safe := c.bodySafe(g, node.Info, node.Decl.Body, visiting)
+	c.memo[g][node] = safe
+	return safe
+}
+
+// bodySafe scans one body (nested literals included — a signal inside a
+// deferred closure still fires) for join signals, then follows static
+// callees with visible bodies.
+func (c *Goroutinejoin) bodySafe(g *analysis.CallGraph, info *types.Info, body *ast.BlockStmt, visiting map[*analysis.CallNode]bool) bool {
+	sig := scanJoinSignals(info, body)
+	if sig.signal || sig.dynamic {
+		return true
+	}
+	for _, fn := range sig.callees {
+		node := g.Node(fn)
+		if node == nil || node.Decl == nil || node.Decl.Body == nil {
+			return true // bodyless external: invisible, lenient
+		}
+		if c.nodeSafe(g, node, visiting) {
+			return true
+		}
+	}
+	return false
+}
+
+// joinScan is the result of scanning one body for join signals.
+type joinScan struct {
+	// signal: a join/termination signal is syntactically present.
+	signal bool
+	// dynamic: a call through a function value was seen — anything could
+	// happen there, so the scan is inconclusive and the checker stays
+	// silent.
+	dynamic bool
+	// callees are the statically resolved callees, in source order, for
+	// the transitive search.
+	callees []*types.Func
+}
+
+// joinSyncMethods are the sync-package methods that count as join signals;
+// other sync methods (Lock, Unlock, Add) are known non-signals and are
+// neither signals nor lenient unknowns.
+var joinSyncMethods = map[string]bool{
+	"Done":      true,
+	"Wait":      true,
+	"Broadcast": true,
+	"Signal":    true,
+}
+
+func scanJoinSignals(info *types.Info, body *ast.BlockStmt) joinScan {
+	var s joinScan
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			s.signal = true
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				s.signal = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(v.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					s.signal = true
+				}
+			}
+		case *ast.CallExpr:
+			scanJoinCall(info, v, &s)
+		}
+		return true
+	})
+	return s
+}
+
+// scanJoinCall classifies one call during the signal scan.
+func scanJoinCall(info *types.Info, call *ast.CallExpr, s *joinScan) {
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if bi, ok := info.Uses[id].(*types.Builtin); ok {
+			if bi.Name() == "close" {
+				s.signal = true
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	fn := analysis.StaticCallee(info, call)
+	if fn == nil {
+		s.dynamic = true
+		return
+	}
+	if fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "sync":
+			if joinSyncMethods[fn.Name()] {
+				s.signal = true
+			}
+			return
+		case "context":
+			// ctx.Done(), cancellation helpers: context flow is a
+			// termination discipline.
+			s.signal = true
+			return
+		}
+	}
+	s.callees = append(s.callees, fn)
+}

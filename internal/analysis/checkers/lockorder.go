@@ -1,0 +1,361 @@
+package checkers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Lockorder builds the held-while-acquiring relation over the whole module
+// — which abstract locks (receiver-type+field pairs) are held when others
+// are acquired, following static calls through the call graph — and
+// reports: (a) cycles in the acquisition order, the classic AB-BA deadlock,
+// at the edge that closes the cycle; (b) calls made while holding a lock
+// into functions that transitively re-acquire the same lock
+// (self-deadlock through a helper); and (c) direct re-acquisition of a
+// lock already held. Lock identities are instance-insensitive: every
+// Tree.mu is one abstract lock, so sibling-instance locking (shard i then
+// shard j) needs an //optimus:allow lockorder with the ordering argument
+// that makes it safe.
+type Lockorder struct {
+	memo map[*analysis.CallGraph]map[string][]lockReport
+}
+
+// NewLockorder returns the checker.
+func NewLockorder() *Lockorder {
+	return &Lockorder{memo: make(map[*analysis.CallGraph]map[string][]lockReport)}
+}
+
+// Name implements analysis.Checker.
+func (c *Lockorder) Name() string { return "lockorder" }
+
+// Doc implements analysis.Checker.
+func (c *Lockorder) Doc() string {
+	return "reports lock-order cycles and calls that re-acquire a held mutex through the call graph"
+}
+
+// lockReport is one finding, attributed to the package whose source holds
+// the reported position.
+type lockReport struct {
+	pos token.Pos
+	msg string
+}
+
+// Run implements analysis.Checker. The module-wide analysis runs once per
+// call graph and is memoized; each pass emits the findings belonging to its
+// package.
+func (c *Lockorder) Run(p *analysis.Pass) {
+	if p.CallGraph == nil {
+		return
+	}
+	byPkg, ok := c.memo[p.CallGraph]
+	if !ok {
+		byPkg = c.analyze(p.CallGraph)
+		c.memo[p.CallGraph] = byPkg
+	}
+	for _, r := range byPkg[p.Path] {
+		p.Reportf(c.Name(), r.pos, "%s", r.msg)
+	}
+}
+
+// sumEntry is one lock a function may transitively acquire, with the call
+// chain that reaches the acquisition (empty for direct acquisitions).
+type sumEntry struct {
+	op  lockOp
+	via []string
+}
+
+// lockEvent is one held-context event from walking a function body: an
+// acquisition or an outgoing call, with the locks held at that point.
+type lockEvent struct {
+	node *analysis.CallNode
+	held []*heldLock
+	// op is set for acquisition events.
+	op lockOp
+	// call/callee are set for call events.
+	call   *ast.CallExpr
+	callee *analysis.CallNode
+}
+
+// analyze walks every declared function once, computes transitive
+// acquisition summaries, and processes the held-context events in
+// deterministic order, growing the lock-order graph and collecting
+// findings per package.
+func (c *Lockorder) analyze(g *analysis.CallGraph) map[string][]lockReport {
+	direct := make(map[*analysis.CallNode]map[string]lockOp)
+	var events []lockEvent
+	for _, node := range g.Nodes() {
+		if node.Decl == nil || node.Decl.Body == nil {
+			continue
+		}
+		node := node
+		acq := make(map[string]lockOp)
+		direct[node] = acq
+		w := &lockWalker{
+			info: node.Info,
+			onAcquire: func(op lockOp, st *lockState) {
+				if _, ok := acq[op.key]; !ok {
+					acq[op.key] = op
+				}
+				events = append(events, lockEvent{node: node, held: st.heldLocks(), op: op})
+			},
+			onCall: func(call *ast.CallExpr, st *lockState) {
+				held := st.heldLocks()
+				if len(held) == 0 {
+					return
+				}
+				callee := g.Node(analysis.StaticCallee(node.Info, call))
+				if callee == nil || callee.Decl == nil {
+					return
+				}
+				events = append(events, lockEvent{node: node, held: held, call: call, callee: callee})
+			},
+		}
+		w.walkFunc(node.Decl.Body)
+	}
+
+	summaries := make(map[*analysis.CallNode]acqSummary)
+	for _, node := range g.Nodes() {
+		if node.Decl != nil {
+			c.summarize(node, direct, summaries, make(map[*analysis.CallNode]bool))
+		}
+	}
+
+	byPkg := make(map[string][]lockReport)
+	report := func(node *analysis.CallNode, pos token.Pos, format string, args ...any) {
+		byPkg[node.Path] = append(byPkg[node.Path], lockReport{pos: pos, msg: fmt.Sprintf(format, args...)})
+	}
+	order := newOrderGraph()
+	for _, ev := range events {
+		if ev.call == nil {
+			c.processAcquire(ev, order, report)
+		} else {
+			c.processCall(ev, summaries[ev.callee], order, report)
+		}
+	}
+	return byPkg
+}
+
+// acqSummary maps lock key → how the function may acquire it.
+type acqSummary map[string]*sumEntry
+
+// summarize computes the transitive may-acquire set of node: its direct
+// acquisitions plus those of every statically called function (go
+// statements excluded — they acquire on another stack — and calls inside
+// function literals excluded — the closure may never run here). The
+// visiting set breaks recursion; a function on the current chain
+// contributes what has been resolved so far.
+func (c *Lockorder) summarize(node *analysis.CallNode, direct map[*analysis.CallNode]map[string]lockOp, summaries map[*analysis.CallNode]acqSummary, visiting map[*analysis.CallNode]bool) acqSummary {
+	if s, ok := summaries[node]; ok {
+		return s
+	}
+	if visiting[node] {
+		return nil
+	}
+	visiting[node] = true
+	defer delete(visiting, node)
+
+	sum := make(acqSummary)
+	keys := make([]string, 0, len(direct[node]))
+	for k := range direct[node] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		op := direct[node][k]
+		sum[k] = &sumEntry{op: op}
+	}
+	for _, site := range node.Out {
+		if site.Kind == analysis.CallGo || site.InLiteral {
+			continue
+		}
+		callee := site.Callee
+		if callee.Decl == nil {
+			continue
+		}
+		sub := c.summarize(callee, direct, summaries, visiting)
+		subKeys := make([]string, 0, len(sub))
+		for k := range sub {
+			subKeys = append(subKeys, k)
+		}
+		sort.Strings(subKeys)
+		for _, k := range subKeys {
+			if _, ok := sum[k]; ok {
+				continue
+			}
+			e := sub[k]
+			via := make([]string, 0, len(e.via)+1)
+			via = append(via, funcDisplay(callee.Func))
+			via = append(via, e.via...)
+			sum[k] = &sumEntry{op: e.op, via: via}
+		}
+	}
+	summaries[node] = sum
+	return sum
+}
+
+// processAcquire handles a direct acquisition: re-acquiring a held lock is
+// a self-deadlock (read-read re-entry tolerated), and each held lock
+// establishes a held→acquired order edge.
+func (c *Lockorder) processAcquire(ev lockEvent, order *orderGraph, report func(*analysis.CallNode, token.Pos, string, ...any)) {
+	for _, h := range ev.held {
+		if h.op.key == ev.op.key {
+			if h.op.read && ev.op.read {
+				continue
+			}
+			report(ev.node, ev.op.Pos(),
+				"mutex %s is acquired while already held by %s (self-deadlock)",
+				ev.op.name, funcDisplay(ev.node.Func))
+			continue
+		}
+		c.addEdge(order, h.op, ev.op, ev.node, ev.op.Pos(), report)
+	}
+}
+
+// processCall handles a call made while holding locks: if the callee may
+// transitively acquire a held lock, that is a deadlock through the call
+// graph; every other lock the callee may acquire extends the order graph.
+func (c *Lockorder) processCall(ev lockEvent, sum acqSummary, order *orderGraph, report func(*analysis.CallNode, token.Pos, string, ...any)) {
+	if len(sum) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(sum))
+	for k := range sum {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, h := range ev.held {
+		for _, k := range keys {
+			e := sum[k]
+			if k == h.op.key {
+				if h.op.read && e.op.read {
+					continue
+				}
+				report(ev.node, ev.call.Pos(),
+					"call to %s while holding %s: callee re-acquires %s%s (deadlock)",
+					funcDisplay(ev.callee.Func), h.op.name, e.op.name, viaSuffix(e.via))
+				continue
+			}
+			c.addEdge(order, h.op, e.op, ev.node, ev.call.Pos(), report)
+		}
+	}
+}
+
+// addEdge records held→acquired in the order graph; an edge whose reverse
+// direction is already reachable closes an acquisition-order cycle.
+func (c *Lockorder) addEdge(order *orderGraph, held, acq lockOp, node *analysis.CallNode, pos token.Pos, report func(*analysis.CallNode, token.Pos, string, ...any)) {
+	if order.has(held.key, acq.key) {
+		return
+	}
+	if chain := order.path(acq.key, held.key); chain != nil {
+		names := make([]string, 0, len(chain)+1)
+		for _, k := range chain {
+			names = append(names, order.name(k))
+		}
+		names = append(names, acq.name)
+		report(node, pos,
+			"acquiring %s while holding %s completes a lock-order cycle: %s (deadlock with the reverse order)",
+			acq.name, held.name, strings.Join(names, " → "))
+	}
+	order.add(held, acq)
+}
+
+// viaSuffix renders a call chain for a transitive acquisition.
+func viaSuffix(via []string) string {
+	if len(via) == 0 {
+		return ""
+	}
+	return " via " + strings.Join(via, " → ")
+}
+
+// funcDisplay renders a function for messages: (*Tree).DonorLost for
+// methods, pkg.Func for functions.
+func funcDisplay(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		ptr := false
+		if p, isPtr := rt.(*types.Pointer); isPtr {
+			rt = p.Elem()
+			ptr = true
+		}
+		if named, isNamed := rt.(*types.Named); isNamed {
+			recv := named.Obj().Name()
+			if ptr {
+				recv = "*" + recv
+			}
+			return "(" + recv + ")." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// orderGraph is the held-before relation over abstract locks, with
+// reachability queries for cycle detection.
+type orderGraph struct {
+	adj   map[string]map[string]bool
+	names map[string]string
+}
+
+func newOrderGraph() *orderGraph {
+	return &orderGraph{adj: make(map[string]map[string]bool), names: make(map[string]string)}
+}
+
+func (o *orderGraph) has(from, to string) bool { return o.adj[from][to] }
+
+func (o *orderGraph) add(held, acq lockOp) {
+	if o.adj[held.key] == nil {
+		o.adj[held.key] = make(map[string]bool)
+	}
+	o.adj[held.key][acq.key] = true
+	o.names[held.key] = held.name
+	o.names[acq.key] = acq.name
+}
+
+func (o *orderGraph) name(key string) string {
+	if n, ok := o.names[key]; ok {
+		return n
+	}
+	return key
+}
+
+// path returns the lock keys along a path from → to in the order graph
+// (from included, to included), or nil when unreachable. Neighbors are
+// visited in sorted order, so the witness path is deterministic.
+func (o *orderGraph) path(from, to string) []string {
+	if from == to {
+		return []string{from}
+	}
+	visited := map[string]bool{from: true}
+	var dfs func(cur string, acc []string) []string
+	dfs = func(cur string, acc []string) []string {
+		next := make([]string, 0, len(o.adj[cur]))
+		for n := range o.adj[cur] {
+			next = append(next, n)
+		}
+		sort.Strings(next)
+		for _, n := range next {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			step := append(acc[:len(acc):len(acc)], n)
+			if n == to {
+				return step
+			}
+			if found := dfs(n, step); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	return dfs(from, []string{from})
+}

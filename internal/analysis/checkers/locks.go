@@ -1,0 +1,539 @@
+package checkers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// This file holds the mutex-tracking infrastructure shared by the lockorder
+// and unlockpath checkers: canonical lock identities (receiver-type+field
+// pairs, so every instance of Tree.mu is one abstract lock) and an
+// approximate path-sensitive walker that tracks which locks are held,
+// which were just released, and whether any call intervened since.
+
+// lockOp is one classified mutex operation — a Lock/RLock/Unlock/RUnlock
+// call on a sync.Mutex or sync.RWMutex with a resolvable identity.
+type lockOp struct {
+	// key is the canonical identity, stable across packages: package path +
+	// declaring type + field for struct fields, package path + name for
+	// package-level vars, name + declaration offset for locals.
+	key string
+	// name is the short display form for messages ("(Tree).mu", "pkg.mu").
+	name string
+	// acquire is true for Lock/RLock, false for Unlock/RUnlock.
+	acquire bool
+	// read is true for the RWMutex read-side ops (RLock/RUnlock).
+	read bool
+	call *ast.CallExpr
+}
+
+// Pos returns the operation's position.
+func (o lockOp) Pos() token.Pos { return o.call.Pos() }
+
+var lockMethods = map[string]struct{ acquire, read bool }{
+	"Lock":    {true, false},
+	"RLock":   {true, true},
+	"Unlock":  {false, false},
+	"RUnlock": {false, true},
+}
+
+// classifyLockCall resolves call as a mutex operation. Only concrete
+// sync.Mutex / sync.RWMutex receivers count (a sync.Locker interface value
+// has no static identity); TryLock variants are conditional acquisitions
+// and stay untracked.
+func classifyLockCall(info *types.Info, call *ast.CallExpr) (lockOp, bool) {
+	fun, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	m, ok := lockMethods[fun.Sel.Name]
+	if !ok {
+		return lockOp{}, false
+	}
+	fn := analysis.StaticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return lockOp{}, false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return lockOp{}, false
+	}
+	if n := named.Obj().Name(); n != "Mutex" && n != "RWMutex" {
+		return lockOp{}, false
+	}
+	key, name := lockIdentity(info, fun)
+	if key == "" {
+		return lockOp{}, false
+	}
+	return lockOp{key: key, name: name, acquire: m.acquire, read: m.read, call: call}, true
+}
+
+// lockIdentity computes the canonical identity of the mutex a method
+// selector operates on. A method reached through embedded fields
+// (t.Lock() with an embedded sync.Mutex) identifies the deepest field on
+// the selection path; otherwise the receiver expression itself is resolved.
+func lockIdentity(info *types.Info, fun *ast.SelectorExpr) (key, name string) {
+	if sel, ok := info.Selections[fun]; ok {
+		if idx := sel.Index(); len(idx) > 1 {
+			return fieldIdent(sel.Recv(), idx[:len(idx)-1])
+		}
+	}
+	return exprIdent(info, unparen(fun.X))
+}
+
+// exprIdent resolves a mutex-valued expression to its identity: struct
+// fields collapse to declaring-type+field (instance-insensitive), package
+// vars to path+name, locals to name+offset. Unresolvable shapes (map
+// lookups, function results) return "".
+func exprIdent(info *types.Info, e ast.Expr) (key, name string) {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return objIdent(info.Uses[v])
+	case *ast.StarExpr:
+		return exprIdent(info, unparen(v.X))
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[v]; ok {
+			if sel.Kind() == types.FieldVal {
+				return fieldIdent(sel.Recv(), sel.Index())
+			}
+			return "", ""
+		}
+		// No selection: a package-qualified variable (pkg.Mu).
+		return objIdent(info.Uses[v.Sel])
+	}
+	return "", ""
+}
+
+// objIdent computes the identity of a variable holding a mutex.
+func objIdent(obj types.Object) (key, name string) {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return "", ""
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v.Pkg().Path() + "." + v.Name(), v.Pkg().Name() + "." + v.Name()
+	}
+	return fmt.Sprintf("%s@%d", v.Name(), v.Pos()), v.Name()
+}
+
+// fieldIdent walks a field selection path (embedded fields included) and
+// identifies the final field by its declaring named type.
+func fieldIdent(recv types.Type, index []int) (key, name string) {
+	t := recv
+	var owner *types.Named
+	var field *types.Var
+	for _, i := range index {
+		u := t
+		if p, ok := u.(*types.Pointer); ok {
+			u = p.Elem()
+		}
+		named, _ := u.(*types.Named)
+		st, ok := u.Underlying().(*types.Struct)
+		if !ok || i >= st.NumFields() {
+			return "", ""
+		}
+		owner = named
+		field = st.Field(i)
+		t = field.Type()
+	}
+	if field == nil {
+		return "", ""
+	}
+	if owner == nil {
+		// Anonymous struct: fall back to the field's declaration offset.
+		return fmt.Sprintf("%s@%d", field.Name(), field.Pos()), field.Name()
+	}
+	o := owner.Obj()
+	name = "(" + o.Name() + ")." + field.Name()
+	if o.Pkg() != nil {
+		return o.Pkg().Path() + "." + o.Name() + "." + field.Name(), name
+	}
+	return o.Name() + "." + field.Name(), name
+}
+
+// heldLock is a lock the current path holds. deferred means a matching
+// defer Unlock is registered, so every exit releases it.
+type heldLock struct {
+	op       lockOp
+	deferred bool
+}
+
+// releasedLock is a lock the current path released; callsSince reports
+// whether any function call happened after the release — the signal that
+// distinguishes deliberate short critical sections from the split-lock
+// check-then-act shape.
+type releasedLock struct {
+	op         lockOp
+	callsSince bool
+}
+
+// lockState is the walker's per-path state.
+type lockState struct {
+	held     map[string]*heldLock
+	released map[string]*releasedLock
+	// deferPending marks keys whose defer Unlock preceded the Lock itself.
+	deferPending map[string]bool
+	terminated   bool
+}
+
+func newLockState() *lockState {
+	return &lockState{
+		held:         make(map[string]*heldLock),
+		released:     make(map[string]*releasedLock),
+		deferPending: make(map[string]bool),
+	}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	c.terminated = s.terminated
+	for k, h := range s.held {
+		hc := *h
+		c.held[k] = &hc
+	}
+	for k, r := range s.released {
+		rc := *r
+		c.released[k] = &rc
+	}
+	for k := range s.deferPending {
+		c.deferPending[k] = true
+	}
+	return c
+}
+
+// heldLocks returns the held set sorted by identity, for deterministic
+// iteration and reporting.
+func (s *lockState) heldLocks() []*heldLock {
+	keys := make([]string, 0, len(s.held))
+	for k := range s.held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*heldLock, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s.held[k])
+	}
+	return out
+}
+
+// markCalls records that a function call happened on this path.
+func (s *lockState) markCalls() {
+	for _, r := range s.released {
+		r.callsSince = true
+	}
+}
+
+// mergeStates joins the fall-through states of sibling branches: a lock is
+// held (or released) after the branch only if every surviving path agrees,
+// with the weakest annotation winning (deferred only if deferred everywhere;
+// callsSince only if a call happened on every path still tracking the
+// release — if any path reached this point call-free, a call-free path
+// exists). Terminated paths (return, panic) drop out of the join.
+func mergeStates(states ...*lockState) *lockState {
+	var live []*lockState
+	for _, s := range states {
+		if s != nil && !s.terminated {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		out := newLockState()
+		out.terminated = true
+		return out
+	}
+	out := live[0].clone()
+	for _, s := range live[1:] {
+		for k, h := range out.held {
+			oh, ok := s.held[k]
+			if !ok {
+				delete(out.held, k)
+				continue
+			}
+			h.deferred = h.deferred && oh.deferred
+		}
+		for k, r := range s.released {
+			if or, ok := out.released[k]; ok {
+				or.callsSince = or.callsSince && r.callsSince
+			} else {
+				rc := *r
+				out.released[k] = &rc
+			}
+		}
+		for k := range s.deferPending {
+			out.deferPending[k] = true
+		}
+	}
+	return out
+}
+
+// lockWalker walks one function body with an approximate structured
+// control-flow interpretation: branches fork and rejoin, loop bodies are
+// walked once, and function-literal subtrees are skipped (a closure built
+// here may run on another goroutine or not at all — literals are analyzed
+// as separate pseudo-functions by the checkers that need them). The three
+// hooks fire in source order along each path.
+type lockWalker struct {
+	info *types.Info
+	// onAcquire fires for each Lock/RLock, before the state records it.
+	onAcquire func(op lockOp, st *lockState)
+	// onCall fires for each non-mutex, non-builtin call on the path.
+	onCall func(call *ast.CallExpr, st *lockState)
+	// onExit fires at each return, panic, and fall-off-the-end point.
+	onExit func(pos token.Pos, st *lockState)
+}
+
+// walkFunc interprets one function (or pseudo-function) body.
+func (w *lockWalker) walkFunc(body *ast.BlockStmt) {
+	st := newLockState()
+	w.walkStmt(st, body)
+	if !st.terminated {
+		w.exit(body.End(), st)
+	}
+}
+
+func (w *lockWalker) exit(pos token.Pos, st *lockState) {
+	if w.onExit != nil {
+		w.onExit(pos, st)
+	}
+}
+
+func (w *lockWalker) walkStmt(st *lockState, stmt ast.Stmt) {
+	if st.terminated || stmt == nil {
+		return
+	}
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			w.walkStmt(st, sub)
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(st, s.Stmt)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scanExpr(st, r)
+		}
+		w.exit(s.Pos(), st)
+		st.terminated = true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the structured walk; the path's state
+		// is dropped rather than merged (an under- not over-approximation).
+		st.terminated = true
+	case *ast.DeferStmt:
+		w.walkDefer(st, s)
+	case *ast.GoStmt:
+		// The spawned call runs on another stack; its lock operations and
+		// calls are not events on this path.
+	case *ast.IfStmt:
+		w.walkStmt(st, s.Init)
+		w.scanExpr(st, s.Cond)
+		then := st.clone()
+		w.walkStmt(then, s.Body)
+		alt := st.clone()
+		if s.Else != nil {
+			w.walkStmt(alt, s.Else)
+		}
+		*st = *mergeStates(then, alt)
+	case *ast.ForStmt:
+		w.walkStmt(st, s.Init)
+		w.scanExpr(st, s.Cond)
+		body := st.clone()
+		w.walkStmt(body, s.Body)
+		w.walkStmt(body, s.Post)
+		skip := st
+		if s.Cond == nil {
+			// for {} only exits via break/return inside the body.
+			skip = nil
+		}
+		*st = *mergeStates(body, skip)
+	case *ast.RangeStmt:
+		w.scanExpr(st, s.X)
+		body := st.clone()
+		w.walkStmt(body, s.Body)
+		*st = *mergeStates(body, st)
+	case *ast.SwitchStmt:
+		w.walkStmt(st, s.Init)
+		w.scanExpr(st, s.Tag)
+		w.walkClauses(st, s.Body, false)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(st, s.Init)
+		w.walkStmt(st, s.Assign)
+		w.walkClauses(st, s.Body, false)
+	case *ast.SelectStmt:
+		w.walkClauses(st, s.Body, true)
+	default:
+		w.scanStmt(st, stmt)
+	}
+}
+
+// walkClauses forks each case/comm clause and rejoins. Unless the construct
+// always executes exactly one clause (a select with no default still blocks
+// until one fires), the entry state joins too, covering the no-case path.
+func (w *lockWalker) walkClauses(st *lockState, body *ast.BlockStmt, isSelect bool) {
+	var forks []*lockState
+	hasDefault := false
+	for _, clause := range body.List {
+		fork := st.clone()
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				w.scanExpr(fork, e)
+			}
+			for _, sub := range c.Body {
+				w.walkStmt(fork, sub)
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			w.walkStmt(fork, c.Comm)
+			for _, sub := range c.Body {
+				w.walkStmt(fork, sub)
+			}
+		}
+		forks = append(forks, fork)
+	}
+	if !isSelect && !hasDefault {
+		forks = append(forks, st.clone())
+	}
+	if len(forks) == 0 {
+		return
+	}
+	*st = *mergeStates(forks...)
+}
+
+// walkDefer handles a defer statement: a deferred Unlock (directly or
+// inside a deferred function literal) marks the lock as safely released on
+// every exit; other deferred work contributes nothing to the path.
+func (w *lockWalker) walkDefer(st *lockState, s *ast.DeferStmt) {
+	if op, ok := classifyLockCall(w.info, s.Call); ok {
+		if !op.acquire {
+			w.markDeferredUnlock(st, op.key)
+		}
+		return
+	}
+	if lit, ok := unparen(s.Call.Fun).(*ast.FuncLit); ok && lit.Body != nil {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if op, ok := classifyLockCall(w.info, call); ok && !op.acquire {
+					w.markDeferredUnlock(st, op.key)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (w *lockWalker) markDeferredUnlock(st *lockState, key string) {
+	if h, ok := st.held[key]; ok {
+		h.deferred = true
+		return
+	}
+	st.deferPending[key] = true
+}
+
+// scanStmt processes the calls of a simple statement in source order.
+func (w *lockWalker) scanStmt(st *lockState, stmt ast.Stmt) {
+	w.scanNode(st, stmt)
+}
+
+func (w *lockWalker) scanExpr(st *lockState, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	w.scanNode(st, e)
+}
+
+// scanNode visits every call under n (function-literal subtrees excluded)
+// in source order, updating the state: mutex operations move locks between
+// held and released, panic terminates the path, and every other real call
+// marks the released set as no longer call-free.
+func (w *lockWalker) scanNode(st *lockState, n ast.Node) {
+	panicPos := token.NoPos
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, ok := classifyLockCall(w.info, call); ok {
+			w.applyLockOp(st, op)
+			return true
+		}
+		switch fun := unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if bi, ok := w.info.Uses[fun].(*types.Builtin); ok {
+				if bi.Name() == "panic" && panicPos == token.NoPos {
+					panicPos = call.Pos()
+				}
+				return true // other builtins neither block nor synchronize
+			}
+		}
+		if tv, ok := w.info.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion
+		}
+		if w.onCall != nil {
+			w.onCall(call, st)
+		}
+		st.markCalls()
+		return true
+	})
+	if panicPos != token.NoPos && !st.terminated {
+		w.exit(panicPos, st)
+		st.terminated = true
+	}
+}
+
+func (w *lockWalker) applyLockOp(st *lockState, op lockOp) {
+	if op.acquire {
+		if w.onAcquire != nil {
+			w.onAcquire(op, st)
+		}
+		h := &heldLock{op: op}
+		if st.deferPending[op.key] {
+			h.deferred = true
+			delete(st.deferPending, op.key)
+		}
+		st.held[op.key] = h
+		delete(st.released, op.key)
+		return
+	}
+	delete(st.held, op.key)
+	st.released[op.key] = &releasedLock{op: op}
+}
+
+// funcLitsIn returns the outermost function literals inside body; nested
+// literals are reached when their enclosing literal is walked as a
+// pseudo-function. Not descending into a collected literal keeps the list
+// outermost-only.
+func funcLitsIn(body *ast.BlockStmt) []*ast.FuncLit {
+	var top []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			top = append(top, lit)
+			return false
+		}
+		return true
+	})
+	return top
+}

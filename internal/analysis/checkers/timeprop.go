@@ -1,0 +1,123 @@
+package checkers
+
+import (
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Timeprop closes the helper-laundering hole in the wallclock checker.
+// Wallclock bans direct time.Now/Since/Sleep references inside
+// virtual-time packages, but a helper in a real-time package that reads
+// the wall clock smuggles the same nondeterminism in through a single
+// clean-looking call. Timeprop computes the transitive wall-clock taint
+// over the whole call graph — a function is tainted when any call it can
+// make reaches a banned time function — and reports every call from a
+// virtual-time package into a tainted module function outside the virtual
+// set. Direct time.* references stay wallclock's domain (and calls between
+// virtual packages stay internal to wallclock's per-site auditing), so the
+// two checkers never double-report one site.
+type Timeprop struct {
+	// Virtual lists the import paths whose subtrees run on virtual time.
+	Virtual []string
+
+	memo map[*analysis.CallGraph]map[*analysis.CallNode]*analysis.CallNode
+}
+
+// DefaultTimeprop returns the checker bound to the project's virtual-time
+// package list (shared with the wallclock checker).
+func DefaultTimeprop() *Timeprop { return NewTimeprop(defaultVirtualPackages) }
+
+// NewTimeprop returns the checker bound to an explicit package list (used
+// by fixture tests).
+func NewTimeprop(virtual []string) *Timeprop {
+	return &Timeprop{
+		Virtual: virtual,
+		memo:    make(map[*analysis.CallGraph]map[*analysis.CallNode]*analysis.CallNode),
+	}
+}
+
+// Name implements analysis.Checker.
+func (c *Timeprop) Name() string { return "timeprop" }
+
+// Doc implements analysis.Checker.
+func (c *Timeprop) Doc() string {
+	return "bans calls from virtual-time packages into functions that transitively reach the wall clock"
+}
+
+// Run implements analysis.Checker.
+func (c *Timeprop) Run(p *analysis.Pass) {
+	if p.CallGraph == nil || !hasPkg(c.Virtual, p.Path) {
+		return
+	}
+	next := c.taint(p.CallGraph)
+	for _, node := range p.CallGraph.Nodes() {
+		if node.Decl == nil || node.Path != p.Path {
+			continue
+		}
+		for _, site := range node.Out {
+			callee := site.Callee
+			if callee.Decl == nil || hasPkg(c.Virtual, callee.Path) {
+				continue
+			}
+			if _, tainted := next[callee]; !tainted {
+				continue
+			}
+			chain, banned := taintChain(next, callee)
+			p.Reportf(c.Name(), site.Pos(),
+				"call into %s reaches time.%s (%s) from virtual-time package %s: plumb the virtual clock instead",
+				funcDisplay(callee.Func), banned, chain, p.Path)
+		}
+	}
+}
+
+// taint computes, once per call graph, the wall-clock taint as a
+// next-hop-towards-the-clock map: node → the callee through which its
+// shortest taint chain runs. Banned time externals seed the reverse BFS;
+// module functions become tainted through any call edge (go and defer
+// included — the clock read still happens — and literal calls included,
+// since the closure may run).
+func (c *Timeprop) taint(g *analysis.CallGraph) map[*analysis.CallNode]*analysis.CallNode {
+	if next, ok := c.memo[g]; ok {
+		return next
+	}
+	next := make(map[*analysis.CallNode]*analysis.CallNode)
+	var queue []*analysis.CallNode
+	for _, node := range g.Nodes() {
+		if node.Decl == nil && node.Path == "time" && wallclockBanned[node.Func.Name()] {
+			next[node] = nil
+			queue = append(queue, node)
+		}
+	}
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		for _, site := range node.In {
+			caller := site.Caller
+			if _, seen := next[caller]; seen {
+				continue
+			}
+			next[caller] = node
+			queue = append(queue, caller)
+		}
+	}
+	c.memo[g] = next
+	return next
+}
+
+// taintChain renders the shortest chain from node to the banned time
+// function it reaches, returning the rendered chain and the time function
+// name.
+func taintChain(next map[*analysis.CallNode]*analysis.CallNode, node *analysis.CallNode) (chain, banned string) {
+	var parts []string
+	cur := node
+	for cur != nil {
+		if cur.Path == "time" {
+			parts = append(parts, "time."+cur.Func.Name())
+			return strings.Join(parts, " → "), cur.Func.Name()
+		}
+		parts = append(parts, funcDisplay(cur.Func))
+		cur = next[cur]
+	}
+	return strings.Join(parts, " → "), "?"
+}

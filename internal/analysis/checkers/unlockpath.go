@@ -1,0 +1,98 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// Unlockpath guards the two ways a manually managed mutex goes wrong. A
+// Lock() without a defer Unlock() must release on every exit path — a
+// branch that returns (or panics) still holding the lock wedges every
+// later acquirer. And an Unlock() followed by a re-Lock() of the same
+// mutex with no intervening function call is the split-lock check-then-act
+// shape (the PR 7 fan-out bug: read state under the lock, drop it, branch,
+// re-lock and mutate — the state read is stale by the time the second
+// critical section runs). Deliberate short critical sections are
+// recognizable by the work between them: any call between the unlock and
+// the re-lock keeps the checker silent.
+type Unlockpath struct{}
+
+// NewUnlockpath returns the checker.
+func NewUnlockpath() *Unlockpath { return &Unlockpath{} }
+
+// Name implements analysis.Checker.
+func (c *Unlockpath) Name() string { return "unlockpath" }
+
+// Doc implements analysis.Checker.
+func (c *Unlockpath) Doc() string {
+	return "requires unlock on every exit path and flags unlock/re-lock pairs with no intervening call"
+}
+
+// Run implements analysis.Checker.
+func (c *Unlockpath) Run(p *analysis.Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.checkBody(p, fd.Body)
+			}
+		}
+	}
+}
+
+// checkBody analyzes one function (or function-literal pseudo-function)
+// body, then recurses into its outermost literals.
+func (c *Unlockpath) checkBody(p *analysis.Pass, body *ast.BlockStmt) {
+	leaks := make(map[token.Pos]lockOp)
+	w := &lockWalker{
+		info: p.Info,
+		onAcquire: func(op lockOp, st *lockState) {
+			r, ok := st.released[op.key]
+			if !ok || r.callsSince || r.op.read || op.read {
+				return
+			}
+			p.Reportf(c.Name(), op.Pos(),
+				"mutex %s re-acquired with no intervening call since the unlock at line %d: state checked between the critical sections can change — merge them or re-validate after re-locking",
+				op.name, p.Fset.Position(r.op.Pos()).Line)
+		},
+		onExit: func(pos token.Pos, st *lockState) {
+			for _, h := range st.heldLocks() {
+				if h.deferred {
+					continue
+				}
+				if _, seen := leaks[h.op.Pos()]; !seen {
+					leaks[h.op.Pos()] = h.op
+				}
+			}
+		},
+	}
+	w.walkFunc(body)
+
+	positions := make([]token.Pos, 0, len(leaks))
+	for pos := range leaks {
+		positions = append(positions, pos)
+	}
+	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	for _, pos := range positions {
+		op := leaks[pos]
+		p.Reportf(c.Name(), pos,
+			"mutex %s locked here is not released on every exit path: add defer %s or an unlock before each return",
+			op.name, unlockName(op))
+	}
+
+	for _, lit := range funcLitsIn(body) {
+		if lit.Body != nil {
+			c.checkBody(p, lit.Body)
+		}
+	}
+}
+
+// unlockName renders the matching release call for a lock operation.
+func unlockName(op lockOp) string {
+	if op.read {
+		return "RUnlock()"
+	}
+	return "Unlock()"
+}

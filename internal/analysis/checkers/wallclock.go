@@ -24,9 +24,15 @@ var wallclockBanned = map[string]bool{
 // defaultVirtualPackages are the packages whose logic runs entirely on the
 // simulator's virtual clock: any wall-clock read there desynchronizes
 // replay from simulation and silently breaks fixed-seed reproducibility.
-// Real-time packages (gateway, supervisor, cliutil, experiments) are simply
-// absent from this list; telemetry sites inside virtual packages carry
-// //optimus:allow wallclock directives instead.
+// The list is shared with the timeprop checker, which extends the same ban
+// to transitive clock reads through helpers in other packages.
+//
+// Excluded by audit (2026-08): gateway and controlplane serve real traffic
+// and legitimately read wall time; experiments and cliutil time real runs;
+// repository and zoo are clock-free data/codegen layers with no replay
+// semantics to protect; analysis and cmd are tooling. Telemetry sites
+// inside virtual packages carry //optimus:allow wallclock directives
+// instead of an exclusion.
 var defaultVirtualPackages = []string{
 	"repro/internal/simulate",
 	"repro/internal/planner",
@@ -37,6 +43,11 @@ var defaultVirtualPackages = []string{
 	"repro/internal/balancer",
 	"repro/internal/fanout",
 	"repro/internal/ring",
+	"repro/internal/faults",
+	"repro/internal/health",
+	"repro/internal/supervisor",
+	"repro/internal/policy",
+	"repro/internal/metrics",
 }
 
 // Wallclock bans wall-clock reads (time.Now, Since, Sleep, After, timers)

@@ -3,7 +3,6 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
-	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
@@ -47,7 +46,40 @@ func RunFixture(tb TB, checker Checker, dir, pkgPath string) {
 	if err != nil {
 		tb.Fatalf("fixture %s: %v", dir, err)
 	}
+	matchWants(tb, fset, files, findings)
+}
 
+// RunModuleFixture loads a fixture mini-module (rootDir laid out like a real
+// module, modPath its module path), runs the checker plus the directive
+// pipeline over the packages matched by patterns, and compares findings
+// against the // want comments of every matched file. It exists for
+// interprocedural checkers whose findings only arise across package
+// boundaries (timeprop's virtual-to-wallclock edges); single-package
+// checkers should keep using RunFixture.
+func RunModuleFixture(tb TB, checker Checker, rootDir, modPath string, patterns ...string) {
+	tb.Helper()
+	loader := NewLoader(rootDir, modPath)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		tb.Fatalf("module fixture %s: %v", rootDir, err)
+	}
+	graph := BuildCallGraph(loader.Packages())
+	known := map[string]bool{checker.Name(): true}
+	var findings []Finding
+	var files []*ast.File
+	for _, pkg := range pkgs {
+		findings = append(findings, runPackage(pkg, graph, []Checker{checker}, known)...)
+		files = append(files, pkg.Files...)
+	}
+	sortFindings(findings)
+	matchWants(tb, loader.fset, files, findings)
+}
+
+// matchWants compares findings against the // want "regexp" comments in
+// files: every want must be matched by a finding on its exact file:line, and
+// every finding must be claimed by a want.
+func matchWants(tb TB, fset *token.FileSet, files []*ast.File, findings []Finding) {
+	tb.Helper()
 	type want struct {
 		pos token.Position
 		re  *regexp.Regexp
@@ -101,12 +133,15 @@ func RunFixture(tb TB, checker Checker, dir, pkgPath string) {
 }
 
 // runFixture loads and checks a fixture package, returning its findings.
+// Fixtures share the process-wide FileSet and stdlib importer, so the
+// standard library is type-checked once for the whole test run rather than
+// once per fixture.
 func runFixture(checker Checker, dir, pkgPath string) ([]Finding, *token.FileSet, []*ast.File, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	fset := token.NewFileSet()
+	fset, _ := sharedStd()
 	pkg := &Package{Path: pkgPath, Dir: dir, Fset: fset, Src: make(map[string][]byte)}
 	for _, e := range ents {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
@@ -128,15 +163,24 @@ func runFixture(checker Checker, dir, pkgPath string) ([]Finding, *token.FileSet
 		return nil, nil, nil, fmt.Errorf("no fixture files in %s", dir)
 	}
 	pkg.Info = NewInfo()
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	conf := types.Config{Importer: fixtureImporter{}}
 	pkg.Types, err = conf.Check(pkgPath, fset, pkg.Files, pkg.Info)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("type-checking: %w", err)
 	}
+	graph := BuildCallGraph([]*Package{pkg})
 	known := map[string]bool{checker.Name(): true}
-	findings := runPackage(pkg, []Checker{checker}, known)
+	findings := runPackage(pkg, graph, []Checker{checker}, known)
 	sortFindings(findings)
 	return findings, fset, pkg.Files, nil
+}
+
+// fixtureImporter resolves fixture imports (standard library only) through
+// the shared memoized source importer.
+type fixtureImporter struct{}
+
+func (fixtureImporter) Import(path string) (*types.Package, error) {
+	return stdImport(path, "", 0)
 }
 
 // splitWantPatterns parses the payload of a want comment: one or more

@@ -1,0 +1,144 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// FuzzCallGraph hammers the call-graph builder with arbitrary Go sources:
+// any program that parses and type-checks must produce a graph without
+// panicking, the graph must be byte-deterministic across rebuilds, and
+// every recorded edge must be structurally sound and re-resolvable — the
+// callee a site records is exactly what StaticCallee resolves for its call
+// expression.
+func FuzzCallGraph(f *testing.F) {
+	seeds := []string{
+		// Plain calls, forward references, recursion.
+		`package p
+func a() { b(); a() }
+func b() {}`,
+		// Methods, pointer receivers, embedded promotion.
+		`package p
+import "sync"
+type T struct{ sync.Mutex; n int }
+func (t *T) get() int { t.Lock(); defer t.Unlock(); return t.n }
+func use(t *T) int { return t.get() }`,
+		// Function literals with go and defer.
+		`package p
+func spawn(ch chan int) {
+	go func() { ch <- help() }()
+	defer func() { help() }()
+}
+func help() int { return 1 }`,
+		// Method values: the call site is dynamic, the binding is not an edge.
+		`package p
+type T int
+func (t T) m() int { return int(t) }
+func use(t T) int { f := t.m; return f() }`,
+		// Method expressions.
+		`package p
+type T int
+func (t T) m() int { return int(t) }
+func use(t T) int { return T.m(t) }`,
+		// Generic functions and instantiation.
+		`package p
+func id[V any](v V) V { return v }
+func use() int { return id(3) + id[int](4) }`,
+		// Interface method calls resolve to the interface method object.
+		`package p
+type runner interface{ run() }
+func use(r runner) { r.run() }`,
+		// Conversions must not register as calls.
+		`package p
+type celsius float64
+func use(x float64) celsius { return celsius(x) + celsius(f(x)) }
+func f(x float64) float64 { return x }`,
+		// Mutual recursion through a literal.
+		`package p
+func even(n int) bool { if n == 0 { return true }; return func() bool { return odd(n - 1) }() }
+func odd(n int) bool { if n == 0 { return false }; return even(n - 1) }`,
+		// Shadowed builtins and locally shadowed functions.
+		`package p
+func len(s string) int { return 3 }
+func use() int { f := len; return f("x") + len("y") }`,
+		// Empty bodies and declarations without bodies don't break scanning.
+		`package p
+func a()
+func b() { a() }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments)
+		if err != nil {
+			t.Skip()
+		}
+		info := analysis.NewInfo()
+		conf := types.Config{Importer: imp, Error: func(error) {}}
+		tpkg, err := conf.Check("fuzzpkg", fset, []*ast.File{file}, info)
+		if err != nil {
+			t.Skip()
+		}
+		pkg := &analysis.Package{
+			Path:  "fuzzpkg",
+			Fset:  fset,
+			Files: []*ast.File{file},
+			Types: tpkg,
+			Info:  info,
+			Src:   map[string][]byte{},
+		}
+		g := analysis.BuildCallGraph([]*analysis.Package{pkg})
+		again := analysis.BuildCallGraph([]*analysis.Package{pkg})
+
+		nodes, nodes2 := g.Nodes(), again.Nodes()
+		if len(nodes) != len(nodes2) {
+			t.Fatalf("rebuild changed node count: %d vs %d", len(nodes), len(nodes2))
+		}
+		for i := range nodes {
+			if nodes[i].FullName() != nodes2[i].FullName() {
+				t.Fatalf("rebuild changed node order at %d: %s vs %s",
+					i, nodes[i].FullName(), nodes2[i].FullName())
+			}
+		}
+
+		for _, n := range nodes {
+			if n.Decl != nil && n.Info == nil {
+				t.Fatalf("declared node %s has no type info", n.FullName())
+			}
+			if n.Decl == nil && len(n.Out) > 0 {
+				t.Fatalf("external node %s has out-edges", n.FullName())
+			}
+			for _, site := range n.Out {
+				if site.Caller != n {
+					t.Fatalf("site in %s.Out has caller %s", n.FullName(), site.Caller.FullName())
+				}
+				if site.Callee == nil || site.Call == nil {
+					t.Fatalf("site in %s.Out is structurally incomplete", n.FullName())
+				}
+				fn := analysis.StaticCallee(n.Info, site.Call)
+				if fn == nil {
+					t.Fatalf("%s: recorded edge whose call no longer resolves", n.FullName())
+				}
+				if g.Node(fn) != site.Callee {
+					t.Fatalf("%s: edge callee %s mis-resolves to %s",
+						n.FullName(), site.Callee.FullName(), fn.FullName())
+				}
+			}
+			for _, site := range n.In {
+				if site.Callee != n {
+					t.Fatalf("site in %s.In has callee %s", n.FullName(), site.Callee.FullName())
+				}
+			}
+		}
+	})
+}

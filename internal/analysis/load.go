@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked module package.
@@ -44,20 +45,51 @@ type Loader struct {
 	root string
 	mod  string
 	fset *token.FileSet
-	std  types.ImporterFrom
 	pkgs map[string]*Package
 	busy map[string]bool
 }
 
+// The standard-library source importer is memoized process-wide: it compiles
+// each stdlib package from GOROOT sources exactly once, no matter how many
+// Loaders (lint runs, fixture packages, fuzz iterations) ask for it. The
+// importer caches by import path internally, so sharing one instance — and
+// the FileSet its positions live in — turns the dominant cost of a lint run
+// (re-type-checking the stdlib per load) into a one-time cost. A mutex
+// serializes access: the source importer is not safe for concurrent use.
+var (
+	stdOnce sync.Once
+	stdMu   sync.Mutex
+	stdFset *token.FileSet
+	stdImp  types.ImporterFrom
+)
+
+// sharedStd returns the process-wide FileSet and stdlib source importer.
+func sharedStd() (*token.FileSet, types.ImporterFrom) {
+	stdOnce.Do(func() {
+		stdFset = token.NewFileSet()
+		stdImp = importer.ForCompiler(stdFset, "source", nil).(types.ImporterFrom)
+	})
+	return stdFset, stdImp
+}
+
+// stdImport resolves a non-module import through the shared source importer.
+func stdImport(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	_, imp := sharedStd()
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	return imp.ImportFrom(path, dir, mode)
+}
+
 // NewLoader returns a loader for the module with the given root directory
-// and module path.
+// and module path. Loaders share one process-wide FileSet and stdlib source
+// importer, so standard-library dependencies are type-checked once per
+// process rather than once per loader.
 func NewLoader(root, modPath string) *Loader {
-	fset := token.NewFileSet()
+	fset, _ := sharedStd()
 	return &Loader{
 		root: root,
 		mod:  modPath,
 		fset: fset,
-		std:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
 		pkgs: make(map[string]*Package),
 		busy: make(map[string]bool),
 	}
@@ -263,7 +295,24 @@ func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 		}
 		return pkg.Types, nil
 	}
-	return l.std.ImportFrom(path, dir, mode)
+	return stdImport(path, dir, mode)
+}
+
+// Packages returns every module package the loader has type-checked so far —
+// pattern-matched packages and their module-local dependencies alike —
+// sorted by import path. The call-graph builder consumes this set so
+// interprocedural facts cross package boundaries.
+func (l *Loader) Packages() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, l.pkgs[p])
+	}
+	return out
 }
 
 // FindModule walks upward from dir to the enclosing go.mod and returns the

@@ -1,18 +1,22 @@
 package analysis_test
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/checkers"
 )
 
-// TestSelfLintSmoke runs the full registry over two real module packages —
-// internal/metrics (pure virtual-time data plumbing) and internal/analysis
-// itself (the linter lints its own framework) — and requires both clean.
-// The CI lint job covers ./... end to end; this keeps a fast in-tree
-// regression signal that the loader resolves module-local and stdlib
-// imports offline.
+// TestSelfLintSmoke runs the full registry over real module packages and
+// requires them clean. The original pair — internal/metrics (pure
+// virtual-time data plumbing) and internal/analysis itself (the linter
+// lints its own framework) — keeps a fast regression signal that the loader
+// resolves module-local and stdlib imports offline; the concurrency-heavy
+// packages (fanout, controlplane, supervisor, planner) pin the
+// interprocedural checkers (lockorder, goroutinejoin, unlockpath, timeprop)
+// at zero findings over the code they were written to guard. The CI lint
+// job covers ./... end to end.
 func TestSelfLintSmoke(t *testing.T) {
 	root, mod, err := analysis.FindModule(".")
 	if err != nil {
@@ -21,11 +25,35 @@ func TestSelfLintSmoke(t *testing.T) {
 	findings, err := analysis.Run(root, mod, checkers.All(), []string{
 		"./internal/metrics",
 		"./internal/analysis/...",
+		"./internal/fanout",
+		"./internal/controlplane",
+		"./internal/supervisor",
+		"./internal/planner",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range findings {
 		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestSelfLintUnusedConcurrencyAllow pins the suppression audit for the new
+// checkers: an //optimus:allow lockorder directive on code with no lockorder
+// finding must itself surface as an unused-directive finding. Without this,
+// a fixed deadlock could leave behind a suppression that silently swallows
+// the next one.
+func TestSelfLintUnusedConcurrencyAllow(t *testing.T) {
+	findings, err := analysis.CheckFixture(checkers.NewLockorder(),
+		fixture("allowunused_lockorder"), "repro/internal/fanout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly 1 (the unused directive): %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Checker != analysis.DirectiveChecker || !strings.Contains(f.Message, "unused directive") {
+		t.Errorf("finding = %s, want an unused //optimus:allow lockorder report", f)
 	}
 }

@@ -1,0 +1,19 @@
+// Package allowunused_lockorder carries a lockorder suppression on code
+// that triggers no lockorder finding: the directive pipeline must report
+// the directive itself as unused, so stale concurrency suppressions cannot
+// outlive the hazard they once covered.
+package allowunused_lockorder
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *box) bump() {
+	//optimus:allow lockorder — fixture: stale suppression, nothing to silence
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}

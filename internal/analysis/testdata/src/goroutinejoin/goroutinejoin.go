@@ -1,0 +1,127 @@
+// Package goroutinejoin is the fixture for the goroutinejoin checker:
+// spawned functions with no reachable join or termination signal must be
+// reported; WaitGroup/channel/select/context disciplines, dynamic spawns,
+// and calls into invisible externals must stay silent.
+package goroutinejoin
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+type pool struct {
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	cond *sync.Cond
+	out  chan int
+	n    int
+}
+
+// waitgroup joins through wg.Done in a deferred closure.
+func (p *pool) waitgroup() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.n++
+	}()
+	p.wg.Wait()
+}
+
+// channelSend signals completion on a channel.
+func (p *pool) channelSend(v int) {
+	go func() {
+		p.out <- v
+	}()
+}
+
+// channelClose signals by closing.
+func (p *pool) channelClose() {
+	go func() {
+		close(p.out)
+	}()
+}
+
+// selectCtx terminates through context cancellation.
+func (p *pool) selectCtx(ctx context.Context) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case v := <-p.out:
+			p.n = v
+		}
+	}()
+}
+
+// broadcast wakes waiters through the condition variable.
+func (p *pool) broadcast() {
+	go p.notify()
+}
+
+func (p *pool) notify() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.n++
+	p.cond.Broadcast()
+}
+
+// spin is pure computation with no signal anywhere.
+func (p *pool) spin() {
+	for i := 0; i < 1000; i++ {
+		p.n += i
+	}
+}
+
+// leakLiteral spawns a signal-free literal.
+func (p *pool) leakLiteral() {
+	go func() { // want `spawns function literal with no reachable join or termination signal`
+		for i := 0; i < 1000; i++ {
+			p.n += i
+		}
+	}()
+}
+
+// leakNamed spawns a signal-free method.
+func (p *pool) leakNamed() {
+	go p.spin() // want `spawns \(\*pool\)\.spin with no reachable join or termination signal`
+}
+
+// transitive reaches the broadcast through a helper: silent.
+func (p *pool) transitive() {
+	go p.step()
+}
+
+func (p *pool) step() {
+	p.notify()
+}
+
+// leakTransitive reaches only signal-free module code.
+func (p *pool) leakTransitive() {
+	go p.twice() // want `spawns \(\*pool\)\.twice with no reachable join`
+}
+
+func (p *pool) twice() {
+	p.spin()
+	p.spin()
+}
+
+// dynamic spawns a function value: unresolvable, assumed joined by the
+// caller's discipline.
+func (p *pool) dynamic(f func()) {
+	go f()
+}
+
+// dynamicInside calls a function value inside the spawned body: the scan
+// is inconclusive, so it stays silent.
+func (p *pool) dynamicInside(f func()) {
+	go func() {
+		f()
+		p.n++
+	}()
+}
+
+// external calls a bodyless stdlib function: invisible, assumed to
+// terminate.
+func (p *pool) external() {
+	go fmt.Println(p.n)
+}

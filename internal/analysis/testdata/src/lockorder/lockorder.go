@@ -1,0 +1,153 @@
+// Package lockorder is the fixture for the lockorder checker: acquisition
+// cycles, direct self-re-acquisition, and calls into functions that
+// transitively re-acquire a held mutex must be reported; consistent
+// ordering, *Locked helper conventions, go statements, and closures must
+// stay silent.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// lockAB establishes the order muA before muB.
+func lockAB() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.Lock()
+	defer muB.Unlock()
+}
+
+// lockBA closes the cycle: muB held while acquiring muA.
+func lockBA() {
+	muB.Lock()
+	defer muB.Unlock()
+	muA.Lock() // want `completes a lock-order cycle: lockorder\.muA → lockorder\.muB → lockorder\.muA`
+	defer muA.Unlock()
+}
+
+// lockABAgain repeats the established order: edge already present, silent.
+func lockABAgain() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.Lock()
+	defer muB.Unlock()
+}
+
+type store struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+func (s *store) get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[k]
+}
+
+// getLocked follows the *Locked convention: caller holds s.mu.
+func (s *store) getLocked(k string) int { return s.items[k] }
+
+// double re-acquires the store mutex directly.
+func (s *store) double(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.Lock() // want `mutex \(store\)\.mu is acquired while already held`
+	defer s.mu.Unlock()
+	return s.items[k]
+}
+
+// reenter calls a method that re-acquires the mutex it holds.
+func (s *store) reenter(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.get(k) // want `call to \(\*store\)\.get while holding \(store\)\.mu: callee re-acquires`
+}
+
+// reenterDeep reaches the re-acquisition through an intermediate helper.
+func (s *store) reenterDeep(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fetch(s, k) // want `call to lockorder\.fetch while holding \(store\)\.mu: callee re-acquires \(store\)\.mu via \(\*store\)\.get`
+}
+
+func fetch(s *store, k string) int { return s.get(k) }
+
+// lockedHelper is the sanctioned shape: the helper expects the lock held
+// and does not acquire, so the call is silent.
+func (s *store) lockedHelper(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getLocked(k)
+}
+
+// spawn hands the re-acquiring call to another goroutine: it runs on its
+// own stack after this function returns, not while the lock is held here.
+func (s *store) spawn(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.get(k)
+}
+
+// closure builds but does not run a re-acquiring closure; calls inside
+// literals are not events on this path.
+func (s *store) closure(k string) func() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() int { return s.get(k) }
+}
+
+// allowed demonstrates suppression with a reviewed reason.
+func (s *store) allowed(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.get(k) //optimus:allow lockorder — fixture: demonstrates audited suppression
+}
+
+type cache struct {
+	rw    sync.RWMutex
+	items map[string]int
+}
+
+func (c *cache) read(k string) int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.items[k]
+}
+
+// readRead re-enters the read side only: tolerated.
+func (c *cache) readRead(k string) int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.read(k)
+}
+
+func (c *cache) write(k string, v int) {
+	c.rw.Lock()
+	defer c.rw.Unlock()
+	c.items[k] = v
+}
+
+// upgrade calls the write side while holding the read side: the writer
+// waits for the reader that is waiting for the writer.
+func (c *cache) upgrade(k string, v int) {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	c.write(k, v) // want `call to \(\*cache\)\.write while holding \(cache\)\.rw: callee re-acquires`
+}
+
+type emb struct {
+	sync.Mutex
+	n int
+}
+
+// embSelf re-acquires through the embedded mutex's promoted method.
+func embSelf(e *emb) int {
+	e.Lock()
+	defer e.Unlock()
+	e.Lock() // want `mutex \(emb\)\.Mutex is acquired while already held`
+	defer e.Unlock()
+	return e.n
+}

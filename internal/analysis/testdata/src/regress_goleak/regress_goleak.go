@@ -1,0 +1,39 @@
+// Package regress_goleak memorializes the unjoined-worker shape the
+// goroutinejoin checker exists to keep out of the supervision stack: a
+// restart loop that spawns a monitor goroutine with no join signal leaks
+// one goroutine per restart, unobservable until the process bloats. The
+// joined shape (WaitGroup handshake) must stay silent so the production
+// supervisor's current form never regresses into a finding.
+package regress_goleak
+
+import "sync"
+
+type worker struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+func (w *worker) monitorPreFix() {
+	go func() { // want "no reachable join or termination signal"
+		for {
+			poll()
+		}
+	}()
+}
+
+func (w *worker) monitorFixed() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for {
+			select {
+			case <-w.stop:
+				return
+			default:
+				poll()
+			}
+		}
+	}()
+}
+
+func poll() {}

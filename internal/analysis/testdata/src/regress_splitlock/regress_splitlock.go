@@ -1,0 +1,56 @@
+// Package regress_splitlock memorializes the PR 7 fan-out bug that
+// motivated the unlockpath checker's split-lock rule: Tree.MemberLost
+// originally read member.inflight in one critical section, released the
+// lock, and re-acquired it to mark the member dead — a concurrent attach
+// between the two sections could leave an in-flight child streaming from a
+// member already marked dead. The fixed shape (one critical section, the
+// check and the transition under the same hold) must stay silent so the
+// production code's current form never regresses into a finding.
+package regress_splitlock
+
+import "sync"
+
+type member struct {
+	inflight int
+	state    int
+}
+
+const (
+	stateWarm = iota
+	stateDead
+)
+
+type tree struct {
+	mu      sync.Mutex
+	members map[int]*member
+}
+
+// memberLostPreFix is the PR 7 shape before the fix: check under one hold,
+// act under a second, with nothing between that could re-validate.
+func (t *tree) memberLostPreFix(id int) bool {
+	t.mu.Lock()
+	m := t.members[id]
+	busy := m.inflight > 0
+	t.mu.Unlock()
+	if busy {
+		return false
+	}
+	t.mu.Lock() // want "re-acquired with no intervening call since the unlock at line \\d+"
+	m.state = stateDead
+	t.mu.Unlock()
+	return true
+}
+
+// memberLostFixed is the shape the fix landed: one critical section, so the
+// inflight check and the state transition can never interleave with a
+// concurrent attach.
+func (t *tree) memberLostFixed(id int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := t.members[id]
+	if m.inflight > 0 {
+		return false
+	}
+	m.state = stateDead
+	return true
+}

@@ -1,0 +1,15 @@
+// Package clockutil is the real-time half of the timeprop module fixture:
+// helpers here may read the wall clock legally, but calling them from a
+// virtual-time package launders the read past the wallclock checker.
+package clockutil
+
+import "time"
+
+// Elapsed reads the wall clock directly.
+func Elapsed(t0 time.Time) time.Duration { return time.Since(t0) }
+
+// Indirect launders the read through one more hop.
+func Indirect(t0 time.Time) time.Duration { return Elapsed(t0) }
+
+// Pure is clock-free.
+func Pure(x int) int { return x * 2 }

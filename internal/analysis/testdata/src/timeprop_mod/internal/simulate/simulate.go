@@ -1,0 +1,36 @@
+// Package simulate is the virtual-time half of the timeprop module
+// fixture: calls into tainted real-time helpers must be reported with
+// their taint chains; clock-free helpers, virtual-internal calls, and
+// direct time references (wallclock's domain) must stay silent here.
+package simulate
+
+import (
+	"time"
+
+	"repro/internal/clockutil"
+)
+
+type sim struct {
+	now time.Duration
+}
+
+func (s *sim) step(t0 time.Time) {
+	_ = clockutil.Elapsed(t0)  // want `call into clockutil\.Elapsed reaches time\.Since \(clockutil\.Elapsed → time\.Since\) from virtual-time package`
+	_ = clockutil.Indirect(t0) // want `call into clockutil\.Indirect reaches time\.Since \(clockutil\.Indirect → clockutil\.Elapsed → time\.Since\)`
+	_ = clockutil.Pure(3)
+	s.now += localTick()
+}
+
+// localTick reads the clock directly inside the virtual package: that site
+// is the wallclock checker's domain, and calls to localTick are
+// virtual-to-virtual — timeprop stays silent on both.
+func localTick() time.Duration { return time.Duration(time.Now().UnixNano()) }
+
+// spawn and deferred still execute the tainted callee.
+func (s *sim) spawn(t0 time.Time) {
+	go clockutil.Elapsed(t0) // want `reaches time\.Since`
+}
+
+func (s *sim) deferred(t0 time.Time) {
+	defer clockutil.Elapsed(t0) // want `reaches time\.Since`
+}

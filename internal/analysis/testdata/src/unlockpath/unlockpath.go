@@ -1,0 +1,124 @@
+// Package unlockpath is the fixture for the unlockpath checker: locks held
+// at an exit without a defer, and unlock/re-lock pairs with no intervening
+// call (the split-lock check-then-act shape), must be reported; defer
+// discipline, all-paths explicit unlocks, short critical sections separated
+// by real work, and read-to-write upgrades must stay silent.
+package unlockpath
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func work(n int) int { return n + 1 }
+
+// deferred is the canonical safe shape.
+func (c *counter) deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// explicit unlocks on every path.
+func (c *counter) explicit() int {
+	c.mu.Lock()
+	if c.n > 0 {
+		n := c.n
+		c.mu.Unlock()
+		return n
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+// leakyReturn exits through the early return still holding the lock.
+func (c *counter) leakyReturn() int {
+	c.mu.Lock() // want `mutex \(counter\)\.mu locked here is not released on every exit path`
+	if c.n > 0 {
+		return c.n
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+// leakyPanic panics while holding the lock, with no defer to release it.
+func (c *counter) leakyPanic() {
+	c.mu.Lock() // want `not released on every exit path`
+	if c.n < 0 {
+		panic("negative count")
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// splitLock is the PR 7 fan-out bug shape: state read under the lock,
+// lock dropped, branch, re-lock and mutate on the stale read.
+func (c *counter) splitLock() {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	if n > 0 {
+		return
+	}
+	c.mu.Lock() // want `re-acquired with no intervening call since the unlock at line \d+`
+	defer c.mu.Unlock()
+	c.n = n + 1
+}
+
+// shortSections re-locks after real work: a deliberate pair of short
+// critical sections, not a split check-then-act.
+func (c *counter) shortSections() {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	n = work(n)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = n
+}
+
+// upgrade is the read-check-then-write-lock idiom with a re-validation
+// under the write lock; the read release does not arm the split rule.
+func (c *counter) upgrade() {
+	c.rw.RLock()
+	n := c.n
+	c.rw.RUnlock()
+	if n > 0 {
+		return
+	}
+	c.rw.Lock()
+	defer c.rw.Unlock()
+	if c.n == n {
+		c.n++
+	}
+}
+
+// leakyClosure: function literals are checked as their own functions.
+func (c *counter) leakyClosure() func() {
+	return func() {
+		c.mu.Lock() // want `not released on every exit path`
+		c.n++
+	}
+}
+
+// deferredClosure releases inside a deferred literal: safe on every exit.
+func (c *counter) deferredClosure() {
+	c.mu.Lock()
+	defer func() {
+		c.n++
+		c.mu.Unlock()
+	}()
+	c.n = 1
+}
+
+// loopBody locks and unlocks per iteration.
+func (c *counter) loopBody(xs []int) {
+	for _, x := range xs {
+		c.mu.Lock()
+		c.n += x
+		c.mu.Unlock()
+	}
+}
